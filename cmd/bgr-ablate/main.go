@@ -1,0 +1,95 @@
+// Command bgr-ablate runs the DESIGN.md §5 ablations on one data set and
+// prints a comparison table: how each design choice of the router moves
+// delay, area and run time.
+//
+// Usage:
+//
+//	bgr-ablate -dataset C1P1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chanroute"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/lowerbound"
+	"repro/internal/seqroute"
+)
+
+type variant struct {
+	name string
+	note string
+	cfg  core.Config
+}
+
+func main() {
+	dataset := flag.String("dataset", "C1P1", "data set to ablate on")
+	flag.Parse()
+
+	p, err := gen.Dataset(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	ckt, err := gen.Generate(p)
+	if err != nil {
+		fatal(err)
+	}
+	_, lb, err := lowerbound.Delay(ckt)
+	if err != nil {
+		fatal(err)
+	}
+
+	variants := []variant{
+		{"paper", "full algorithm (reference)", core.Config{}},
+		{"A1-areaFirst", "density criteria before Gl/LD everywhere", core.Config{AreaFirst: true}},
+		{"A2-noCache", "d'(e) recomputed for every edge (exact, slower)", core.Config{NoTentativeCache: true}},
+		{"A3-anyOrder", "feedthroughs assigned in index order", core.Config{ArbitraryNetOrder: true}},
+		{"A4-elmore", "Elmore RC delay model", core.Config{DelayModel: core.Elmore, RPerUm: 0.0005}},
+		{"A5-noImprove", "initial routing only", core.Config{SkipImprovement: true}},
+		{"A6-noFeedMove", "no feed re-assignment in rip-up", core.Config{NoFeedReroute: true}},
+		{"unconstrained", "the paper's baseline", core.Config{}},
+	}
+
+	fmt.Printf("ablations on %s (lower bound %.1f ps)\n\n", *dataset, lb)
+	fmt.Printf("%-14s %10s %8s %10s %8s %7s  %s\n",
+		"variant", "delay(ps)", "vs LB", "area(mm2)", "viol", "cpu(s)", "note")
+	for _, v := range variants {
+		cfg := v.cfg
+		cfg.UseConstraints = v.name != "unconstrained"
+		run, err := experiment.RunCircuit(ckt, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", v.name, err))
+		}
+		fmt.Printf("%-14s %10.1f %+7.1f%% %10.3f %8d %7.3f  %s\n",
+			v.name, run.DelayPs, (run.DelayPs-lb)/lb*100, run.AreaMm2, run.Violations, run.CPUSec, v.note)
+	}
+
+	// The sequential net-at-a-time baseline (the router class the paper
+	// argues against) for comparison.
+	start := time.Now()
+	seq, err := seqroute.Route(ckt, seqroute.Config{UseConstraints: true})
+	if err != nil {
+		fatal(err)
+	}
+	cr, err := chanroute.Route(seq.Ckt, seq.Graphs)
+	if err != nil {
+		fatal(err)
+	}
+	delay, viol, err := experiment.FinalDelay(seq.Ckt, cr.NetLenUm)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-14s %10.1f %+7.1f%% %10.3f %8d %7.3f  %s\n",
+		"seq-baseline", delay, (delay-lb)/lb*100, cr.AreaMm2, viol,
+		time.Since(start).Seconds(), "net-at-a-time router (refs [6-8])")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgr-ablate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,237 @@
+// Command bgr-route runs the timing- and area-driven global router on a
+// circuit file (or a generated preset), performs channel routing, and
+// reports the resulting delay, area and wire length. It can also dump
+// ASCII versions of the paper's figures.
+//
+// Usage:
+//
+//	bgr-route -i design.ckt
+//	bgr-route -dataset C1P1 -unconstrained
+//	bgr-route -dataset C1P1 -fig 4 -channel 2
+//	bgr-route -i design.ckt -fig 3 -net n0042
+//	bgr-route -i design.ckt -elmore -r 0.0005 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chanroute"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dgraph"
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/lowerbound"
+	"repro/internal/render"
+	"repro/internal/report"
+	"repro/internal/routedb"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		in      = flag.String("i", "", "input circuit file (text format)")
+		dataset = flag.String("dataset", "", "generate a preset data set instead of reading a file")
+		uncon   = flag.Bool("unconstrained", false, "ignore timing constraints (area-only baseline)")
+		elmore  = flag.Bool("elmore", false, "use the Elmore RC delay model extension")
+		rPerUm  = flag.Float64("r", 0.0005, "wire resistance for -elmore, kΩ/µm")
+		trace   = flag.Bool("trace", false, "print the Fig. 2 phase trace")
+		fig     = flag.Int("fig", 0, "dump a paper figure: 1 (delay graph), 3 (routing graph), 4 (density chart)")
+		netName = flag.String("net", "", "net name for -fig 3 (default: first net)")
+		channel = flag.Int("channel", -1, "channel for -fig 4 (default: most congested)")
+		timing  = flag.Bool("timing", false, "print an STA-style timing report after routing")
+		paths   = flag.Int("paths", 2, "critical paths to list with -timing")
+		doCheck = flag.Bool("verify", false, "audit the routing with the structural verifier")
+		layout  = flag.Bool("layout", false, "draw an ASCII layout of the routed chip")
+		svgOut  = flag.String("svg", "", "write an SVG drawing of the routed chip to this file")
+		greedy  = flag.Bool("greedy", false, "use the greedy channel router instead of left-edge")
+		dbOut   = flag.String("db", "", "write the routing database (JSON handoff) to this file")
+		congest = flag.Bool("congestion", false, "print the per-channel congestion table")
+	)
+	flag.Parse()
+
+	ckt, err := load(*in, *dataset)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{UseConstraints: !*uncon}
+	if *elmore {
+		cfg.DelayModel = core.Elmore
+		cfg.RPerUm = *rPerUm
+	}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	if *fig == 1 {
+		s, err := report.Fig1DelayGraph(ckt, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(s)
+		return
+	}
+	res, err := core.Route(ckt, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	switch *fig {
+	case 3:
+		net := 0
+		if *netName != "" {
+			net = -1
+			for n := range res.Ckt.Nets {
+				if res.Ckt.Nets[n].Name == *netName {
+					net = n
+				}
+			}
+			if net == -1 {
+				fatal(fmt.Errorf("unknown net %q", *netName))
+			}
+		}
+		fmt.Print(report.Fig3RoutingGraph(res.Ckt, res.Graphs[net]))
+		return
+	case 4:
+		ch := *channel
+		if ch < 0 {
+			ch, _ = res.Dens.MaxCM()
+		}
+		fmt.Print(report.Fig4DensityChart(res.Dens, ch))
+		return
+	}
+
+	if *doCheck {
+		v := verify.Routing(res)
+		if v.OK() {
+			fmt.Println("verify: OK")
+		} else {
+			for _, p := range v.Problems {
+				fmt.Println("verify:", p)
+			}
+			os.Exit(1)
+		}
+	}
+	if *layout {
+		fmt.Print(render.Layout(res))
+	}
+	algo := chanroute.LeftEdge
+	if *greedy {
+		algo = chanroute.Greedy
+	}
+	cr, err := chanroute.RouteWith(res.Ckt, res.Graphs, algo)
+	if err != nil {
+		fatal(err)
+	}
+	if *doCheck {
+		v := verify.Channels(cr)
+		hard := 0
+		for _, p := range v.Problems {
+			if p.Rule == "chan-vcg-waived" {
+				fmt.Println("verify: note:", p) // solver-declared quality gap, not an error
+				continue
+			}
+			fmt.Println("verify:", p)
+			hard++
+		}
+		if hard > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("verify: channels OK")
+	}
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(render.SVG(res, cr)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bgr-route: wrote %s\n", *svgOut)
+	}
+	if *dbOut != "" {
+		db, err := routedb.Build(res, cr)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*dbOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := routedb.Write(f, db); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "bgr-route: wrote %s\n", *dbOut)
+	}
+	delay, viol, err := experiment.FinalDelay(res.Ckt, cr.NetLenUm)
+	if err != nil {
+		fatal(err)
+	}
+	if *timing {
+		dg, err := dgraph.New(res.Ckt)
+		if err != nil {
+			fatal(err)
+		}
+		tm := dg.NewTiming()
+		tm.SetLumped(cr.NetLenUm)
+		tm.Analyze()
+		fmt.Print(report.TimingReport(res.Ckt, tm, *paths))
+		fmt.Println()
+		fmt.Print(report.SlackHistogram(res.Ckt, tm, 8))
+		fmt.Println()
+	}
+	if *congest {
+		tracks := make([]int, len(cr.Channels))
+		for ci := range cr.Channels {
+			tracks[ci] = cr.Channels[ci].Tracks
+		}
+		fmt.Print(report.CongestionTable(res.Dens, tracks))
+		fmt.Println()
+	}
+	_, lb, err := lowerbound.Delay(ckt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("circuit      %s (%d cells, %d nets, %d constraints)\n",
+		ckt.Name, len(ckt.Cells), len(ckt.Nets), len(ckt.Cons))
+	fmt.Printf("mode         constraints=%v model=%v\n", cfg.UseConstraints, modelName(cfg))
+	fmt.Printf("delay        %.1f ps (estimate %.1f ps, lower bound %.1f ps)\n", delay, res.Delay, lb)
+	if lb > 0 {
+		fmt.Printf("vs bound     +%.1f%%\n", (delay-lb)/lb*100)
+	}
+	fmt.Printf("violations   %d\n", viol)
+	fmt.Printf("area         %.3f mm² (%.0f µm x %.0f µm)\n", cr.AreaMm2, cr.WidthUm, cr.HeightUm)
+	fmt.Printf("wire length  %.2f mm\n", cr.TotalLenUm/1000)
+	fmt.Printf("feed cells   +%d columns inserted\n", res.AddedPitches)
+	fmt.Printf("tracks       %d total over %d channels\n", res.Dens.TotalTracks(), res.Ckt.Channels())
+}
+
+func load(in, dataset string) (*circuit.Circuit, error) {
+	switch {
+	case in != "" && dataset != "":
+		return nil, fmt.Errorf("use either -i or -dataset, not both")
+	case dataset != "":
+		p, err := gen.Dataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Generate(p)
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.Parse(f)
+	}
+	return nil, fmt.Errorf("need -i <file> or -dataset <name>")
+}
+
+func modelName(cfg core.Config) string {
+	if cfg.DelayModel == core.Elmore {
+		return "elmore"
+	}
+	return "lumped"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgr-route:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command bgr-view routes a circuit and serves an inspection page — the
+// SVG chip drawing, the timing report and the ASCII layout — over HTTP on
+// localhost.
+//
+// Usage:
+//
+//	bgr-view -dataset C1P1 -addr 127.0.0.1:8080
+//	bgr-view -i design.ckt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/chanroute"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/render"
+)
+
+func main() {
+	var (
+		in      = flag.String("i", "", "input circuit file (text format)")
+		dataset = flag.String("dataset", "", "generate a preset data set instead of reading a file")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		uncon   = flag.Bool("unconstrained", false, "route without timing constraints")
+	)
+	flag.Parse()
+
+	var ckt *circuit.Circuit
+	var err error
+	switch {
+	case *dataset != "":
+		var p gen.Params
+		if p, err = gen.Dataset(*dataset); err == nil {
+			ckt, err = gen.Generate(p)
+		}
+	case *in != "":
+		var f *os.File
+		if f, err = os.Open(*in); err == nil {
+			ckt, err = circuit.Parse(f)
+			f.Close()
+		}
+	default:
+		err = fmt.Errorf("need -i <file> or -dataset <name>")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Route(ckt, core.Config{UseConstraints: !*uncon})
+	if err != nil {
+		fatal(err)
+	}
+	cr, err := chanroute.Route(res.Ckt, res.Graphs)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := render.Handler(res, cr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bgr-view: serving %s on http://%s/\n", ckt.Name, *addr)
+	if err := http.ListenAndServe(*addr, h); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgr-view:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package repro reproduces Harada & Kitazawa, "A Global Router Optimizing
+// Timing and Area for High-Speed Bipolar LSI's" (DAC 1994).
+//
+// The implementation lives under internal/: the circuit model (circuit),
+// chip geometry (grid), delay graph and STA (dgraph), per-net routing
+// graphs (rgraph), channel-density estimation (density), feedthrough
+// assignment and feed-cell insertion (feed), the global router itself
+// (core), the channel-router substrate (chanroute), the half-perimeter
+// lower bound (lowerbound), the synthetic circuit generator (gen), the
+// experiment driver (experiment) and table/figure rendering (report).
+//
+// Executables: cmd/bgr-gen, cmd/bgr-route, cmd/bgr-paper. Runnable
+// examples live in examples/. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation; see EXPERIMENTS.md.
+package repro

@@ -1,0 +1,42 @@
+// Feed-cell sweep (§4.3): how many columns the router must insert to
+// complete feedthrough assignment as the placement's free feed cells get
+// scarcer — and what that costs in area. The paper's insertion guarantees
+// completeness at any starting density; this sweep shows the price.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chanroute"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func main() {
+	fmt.Printf("%-10s %12s %12s %10s %12s\n",
+		"feedFrac", "origCols", "insertedCols", "tracks", "area(mm2)")
+	for _, frac := range []float64{0.40, 0.25, 0.15, 0.08, 0.02} {
+		p, err := gen.Dataset("C1P1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.FeedFrac = frac
+		ckt, err := gen.Generate(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Route(ckt, core.Config{UseConstraints: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cr, err := chanroute.Route(res.Ckt, res.Graphs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.2f %12d %12d %10d %12.3f\n",
+			frac, ckt.Cols, res.AddedPitches, res.Dens.TotalTracks(), cr.AreaMm2)
+	}
+	fmt.Println("\ninsertion always completes the assignment (the §4.3 guarantee);")
+	fmt.Println("scarcer feed cells just mean more inserted columns and a wider chip.")
+}

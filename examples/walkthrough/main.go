@@ -1,0 +1,110 @@
+// Walkthrough: the §3 machinery opened up on a tiny net. Builds the
+// routing graph of one net by hand, shows its cycles and bridges, the
+// tentative tree, the d'(e) estimates behind LM(e,P), and the channel
+// density parameters — then deletes edges one at a time until the tree
+// remains, printing what changed at each step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/feed"
+	"repro/internal/rgraph"
+)
+
+func main() {
+	ckt := circuit.SampleSmall()
+	fr, err := feed.Assign(ckt, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ckt = fr.Ckt
+	const net = 1 // n1: the dual-tap buffer output crossing row 0
+	fmt.Printf("net %s: terminals", ckt.Nets[net].Name)
+	for _, tr := range ckt.Terminals(net) {
+		fmt.Printf(" %s", ckt.PinName(tr))
+	}
+	fmt.Printf("; feedthroughs %v\n\n", fr.Feeds[net])
+
+	g, err := rgraph.Build(ckt, fr.Geo, net, fr.Feeds[net])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routing graph Gr(n): %d vertices, %d edges, %d deletable (non-bridge)\n",
+		len(g.Verts), g.AliveCount(), len(g.NonBridges()))
+
+	// Density state: put this net's trunks in so the §3.3 parameters mean
+	// something.
+	dens := density.New(ckt.Channels(), ckt.Cols)
+	for _, e := range g.AliveEdges() {
+		ed := &g.Edges[e]
+		if ed.Kind == rgraph.ETrunk {
+			dens.Add(ed.Ch, ed.X1, ed.X2, g.Pitch)
+			if ed.Bridge {
+				dens.AddBridge(ed.Ch, ed.X1, ed.X2, g.Pitch)
+			}
+		}
+	}
+
+	tree, err := g.Tentative()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tentative tree: %.1f µm over %d edges\n\n", tree.Length, len(tree.Edges))
+
+	fmt.Println("deletion candidates (the LM machinery's d'(e) and the density view):")
+	for _, e := range g.NonBridges() {
+		ed := &g.Edges[e]
+		dPrime := tree.Length
+		if tree.InTree[e] {
+			if l, err := g.LengthExcluding(e); err == nil {
+				dPrime = l
+			}
+		}
+		es := dens.Edge(ed.Ch, ed.X1, ed.X2)
+		cs := dens.Channel(ed.Ch)
+		fmt.Printf("  e%-2d %-6s ch%-1d x=[%2d,%2d] len=%5.1f  d'=%6.1f (Δ%+5.1f)  F_m=%d N_m=%d\n",
+			e, ed.Kind, ed.Ch, ed.X1, ed.X2, ed.Len,
+			dPrime, dPrime-tree.Length, cs.Cm-es.Dm, cs.NCm-es.NDm)
+	}
+
+	fmt.Println("\nedge-deletion run (delete the least harmful candidate first):")
+	step := 0
+	for {
+		nb := g.NonBridges()
+		if len(nb) == 0 {
+			break
+		}
+		// Pick the candidate with the smallest wirelength harm, longest
+		// edge on ties — a one-net stand-in for the full §3.4 comparator.
+		best, bestHarm, bestLen := -1, 0.0, -1.0
+		for _, e := range nb {
+			harm := 0.0
+			if tree.InTree[e] {
+				if l, err := g.LengthExcluding(e); err == nil {
+					harm = l - tree.Length
+				}
+			}
+			if best == -1 || harm < bestHarm || (harm == bestHarm && g.Edges[e].Len > bestLen) {
+				best, bestHarm, bestLen = e, harm, g.Edges[e].Len
+			}
+		}
+		removed, err := g.Delete(best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g.RecomputeBridges()
+		tree, err = g.Tentative()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  step %d: deleted e%d (%s), pruned %d stubs -> %d edges alive, tree %.1f µm\n",
+			step, best, g.Edges[best].Kind, len(removed)-1, g.AliveCount(), tree.Length)
+		step++
+	}
+	ft := g.FinalTree()
+	fmt.Printf("\nfinal wiring: %.1f µm over %d edges (a tree: %v)\n", ft.Length, len(ft.Edges), g.IsTree())
+}

@@ -1,0 +1,98 @@
+package chanroute
+
+// LowerBound returns the classic channel-routing lower bound on track
+// count: the maximum of the column density and the longest chain in the
+// vertical constraint graph (each VCG arc forces one extra track level).
+// Solvers can be judged by their gap to this bound.
+func LowerBound(ch *Channel) int {
+	d := densityBound(ch)
+	if v := vcgChainBound(ch); v > d {
+		return v
+	}
+	return d
+}
+
+func densityBound(ch *Channel) int {
+	counts := map[int]int{}
+	max := 0
+	for _, s := range ch.Segments {
+		if s.Lo >= s.Hi {
+			continue
+		}
+		w := s.Width
+		if w < 1 {
+			w = 1
+		}
+		for x := s.Lo; x <= s.Hi; x++ {
+			counts[x] += w
+			if counts[x] > max {
+				max = counts[x]
+			}
+		}
+	}
+	return max
+}
+
+// vcgChainBound computes the longest path (in segments) through the
+// vertical constraint graph; a chain of k constrained segments needs at
+// least k tracks. Cycles (resolved by doglegs at solve time) contribute
+// their longest acyclic chain; we bound conservatively by breaking cycles
+// at the lowest-index participant.
+func vcgChainBound(ch *Channel) int {
+	var segs []*Segment
+	for _, s := range ch.Segments {
+		if s.Lo < s.Hi {
+			segs = append(segs, s)
+		}
+	}
+	n := len(segs)
+	if n == 0 {
+		return 0
+	}
+	// above[i][j]: segment i must be above segment j.
+	adj := make([][]int, n)
+	for i, a := range segs {
+		for j, b := range segs {
+			if i != j && a.Net != b.Net && mustBeAbove(a, b) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	// Longest path in the (possibly cyclic) digraph, with DFS states to
+	// cut cycles.
+	memo := make([]int, n)
+	state := make([]int, n) // 0 new, 1 active, 2 done
+	var dfs func(v int) int
+	dfs = func(v int) int {
+		switch state[v] {
+		case 1:
+			return 0 // cycle: cut here
+		case 2:
+			return memo[v]
+		}
+		state[v] = 1
+		best := 0
+		for _, w := range adj[v] {
+			if d := dfs(w); d > best {
+				best = d
+			}
+		}
+		state[v] = 2
+		memo[v] = best + widthOf(segs[v])
+		return memo[v]
+	}
+	bound := 0
+	for v := range segs {
+		if d := dfs(v); d > bound {
+			bound = d
+		}
+	}
+	return bound
+}
+
+func widthOf(s *Segment) int {
+	if s.Width < 1 {
+		return 1
+	}
+	return s.Width
+}

@@ -1,0 +1,474 @@
+// Package chanroute is the channel-router substrate: it turns finished
+// global-routing trees into per-channel track assignments, final wire
+// lengths and the chip area. The paper measures its critical-path delays
+// "from routing lengths after channel routing" and its areas from the
+// resulting channel heights; this package provides both.
+//
+// The algorithm is a constrained left-edge router: segments are packed
+// into tracks bottom-up honoring the vertical constraint graph (a top pin
+// and a bottom pin in the same column force their nets' relative track
+// order); cycles are broken by dogleg splitting.
+package chanroute
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/rgraph"
+)
+
+// Pin is a vertical entry into a channel.
+type Pin struct {
+	Col     int
+	FromTop bool // true: enters from the channel's upper boundary
+}
+
+// Segment is one horizontal piece of a net inside a channel.
+type Segment struct {
+	Net    int
+	Lo, Hi int // column span, inclusive; Lo == Hi is a straight-through
+	Pins   []Pin
+	Width  int // pitch width (occupies Width tracks)
+	Track  int // assigned bottom track index, -1 for straight-throughs
+	Dogleg bool
+}
+
+// Channel is the routing problem of one channel.
+type Channel struct {
+	Index    int
+	Segments []*Segment
+	// Tracks is the resulting track count (assigned by Route).
+	Tracks int
+	// VCGViolations counts constraints that had to be dropped after the
+	// dogleg budget ran out (0 in normal operation).
+	VCGViolations int
+}
+
+// Result is the chip-level channel-routing outcome.
+type Result struct {
+	Channels []Channel
+	// NetLenUm is the post-channel-routing wire length per net, µm.
+	NetLenUm []float64
+	// TotalLenUm sums NetLenUm.
+	TotalLenUm float64
+	// WidthUm, HeightUm and AreaMm2 describe the resulting chip.
+	WidthUm  float64
+	HeightUm float64
+	AreaMm2  float64
+}
+
+// Route extracts per-channel problems from the final routing graphs and
+// solves each one.
+func Route(ckt *circuit.Circuit, graphs []*rgraph.Graph) (*Result, error) {
+	chans, err := Extract(ckt, graphs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Channels: chans,
+		NetLenUm: make([]float64, len(ckt.Nets)),
+	}
+	for ci := range res.Channels {
+		Solve(&res.Channels[ci])
+	}
+	res.accumulate(ckt, graphs)
+	return res, nil
+}
+
+// Extract builds the channel problems from finished routing trees.
+func Extract(ckt *circuit.Circuit, graphs []*rgraph.Graph) ([]Channel, error) {
+	chans := make([]Channel, ckt.Channels())
+	for ci := range chans {
+		chans[ci].Index = ci
+	}
+	for n, g := range graphs {
+		if !g.IsTree() {
+			return nil, fmt.Errorf("chanroute: net %s is not finished", ckt.Nets[n].Name)
+		}
+		if err := extractNet(ckt, g, n, chans); err != nil {
+			return nil, err
+		}
+	}
+	return chans, nil
+}
+
+// extractNet walks one net's alive edges and appends its segments (one per
+// connected trunk component per channel, plus straight-throughs).
+func extractNet(ckt *circuit.Circuit, g *rgraph.Graph, n int, chans []Channel) error {
+	// Pins per channel column: branch edges (cell/external pins) and feed
+	// edge endpoints.
+	type colPin struct {
+		ch  int
+		pin Pin
+	}
+	var pins []colPin
+	for _, e := range g.AliveEdges() {
+		ed := &g.Edges[e]
+		switch ed.Kind {
+		case rgraph.EBranch:
+			// The position vertex tells which side the pin is on.
+			pv := ed.U
+			if g.Verts[pv].Kind != rgraph.VPos {
+				pv = ed.V
+			}
+			fromTop, err := pinFromTop(ckt, g, n, pv)
+			if err != nil {
+				return err
+			}
+			pins = append(pins, colPin{ch: ed.Ch, pin: Pin{Col: ed.X1, FromTop: fromTop}})
+		case rgraph.EFeed:
+			// Feed through row r: enters channel r from its top boundary
+			// and channel r+1 from its bottom boundary.
+			pins = append(pins, colPin{ch: ed.Ch, pin: Pin{Col: ed.X1, FromTop: true}})
+			pins = append(pins, colPin{ch: ed.Ch + 1, pin: Pin{Col: ed.X1, FromTop: false}})
+		}
+	}
+	// Trunk intervals per channel, merged into connected components.
+	type iv struct{ lo, hi int }
+	trunks := map[int][]iv{}
+	for _, e := range g.AliveEdges() {
+		ed := &g.Edges[e]
+		if ed.Kind == rgraph.ETrunk {
+			trunks[ed.Ch] = append(trunks[ed.Ch], iv{ed.X1, ed.X2})
+		}
+	}
+	perChannelPins := map[int][]Pin{}
+	for _, cp := range pins {
+		perChannelPins[cp.ch] = append(perChannelPins[cp.ch], cp.pin)
+	}
+	usedPin := map[int][]bool{}
+	for ch, ps := range perChannelPins {
+		usedPin[ch] = make([]bool, len(ps))
+	}
+	for ch, list := range trunks {
+		sort.Slice(list, func(i, j int) bool { return list[i].lo < list[j].lo })
+		merged := []iv{}
+		for _, x := range list {
+			if len(merged) > 0 && x.lo <= merged[len(merged)-1].hi {
+				if x.hi > merged[len(merged)-1].hi {
+					merged[len(merged)-1].hi = x.hi
+				}
+				continue
+			}
+			merged = append(merged, x)
+		}
+		for _, m := range merged {
+			seg := &Segment{Net: n, Lo: m.lo, Hi: m.hi, Width: g.Pitch, Track: -1}
+			for pi, p := range perChannelPins[ch] {
+				if p.Col >= m.lo && p.Col <= m.hi && !usedPin[ch][pi] {
+					seg.Pins = append(seg.Pins, p)
+					usedPin[ch][pi] = true
+				}
+			}
+			chans[ch].Segments = append(chans[ch].Segments, seg)
+		}
+	}
+	// Remaining pins form straight-throughs (vertical connections with no
+	// horizontal extent), grouped per channel+column.
+	for ch, ps := range perChannelPins {
+		byCol := map[int][]Pin{}
+		for pi, p := range ps {
+			if !usedPin[ch][pi] {
+				byCol[p.Col] = append(byCol[p.Col], p)
+			}
+		}
+		cols := make([]int, 0, len(byCol))
+		for col := range byCol {
+			cols = append(cols, col)
+		}
+		sort.Ints(cols)
+		for _, col := range cols {
+			chans[ch].Segments = append(chans[ch].Segments, &Segment{
+				Net: n, Lo: col, Hi: col, Pins: byCol[col], Width: g.Pitch, Track: -1,
+			})
+		}
+	}
+	return nil
+}
+
+// pinFromTop decides whether a position vertex enters its channel from the
+// channel's upper boundary.
+func pinFromTop(ckt *circuit.Circuit, g *rgraph.Graph, n int, pv int) (bool, error) {
+	ti := g.Verts[pv].Term
+	terms := ckt.Terminals(n)
+	if ti < 0 || ti >= len(terms) {
+		return false, fmt.Errorf("chanroute: net %s position vertex without terminal", ckt.Nets[n].Name)
+	}
+	ref := terms[ti]
+	if ref.IsExt() {
+		// A bottom-edge external pin is below channel 0; a top-edge one is
+		// above the last channel.
+		return ckt.Ext[ref.Pin].Side == circuit.Top, nil
+	}
+	// A pin on the bottom of row r lives in channel r, whose upper
+	// boundary is row r itself: it enters from the top. A pin on the top
+	// of row r lives in channel r+1 and enters from the bottom.
+	return ckt.PinDefOf(ref).Side == circuit.Bottom, nil
+}
+
+// Solve assigns tracks in one channel: constrained left-edge, bottom-up,
+// with dogleg splitting on vertical-constraint cycles. It is exported for
+// direct channel-level use.
+func Solve(ch *Channel) {
+	// Straight-throughs need no track.
+	var segs []*Segment
+	for _, s := range ch.Segments {
+		if s.Lo < s.Hi {
+			segs = append(segs, s)
+		}
+	}
+	doglegBudget := 2*len(segs) + 8
+	track := 0
+	unplaced := segs
+	pairs := vcgPairs(segs) // (above, below) constraints, rebuilt after doglegs
+	for len(unplaced) > 0 {
+		below := belowCounts(unplaced, pairs)
+		// Candidates: segments whose below-set is fully placed.
+		var cands []*Segment
+		for _, s := range unplaced {
+			if below[s] == 0 {
+				cands = append(cands, s)
+			}
+		}
+		if len(cands) == 0 {
+			if doglegBudget > 0 {
+				doglegBudget--
+				if dogleg(ch, &unplaced) {
+					pairs = vcgPairs(unplaced)
+					continue
+				}
+			}
+			// Give up on the remaining constraints: place everything by
+			// pure left-edge and count the violations.
+			ch.VCGViolations += len(unplaced)
+			cands = unplaced
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Lo != cands[j].Lo {
+				return cands[i].Lo < cands[j].Lo
+			}
+			return cands[i].Hi < cands[j].Hi
+		})
+		// Pack one track greedily. Wide segments occupy Width tracks; for
+		// simplicity a track row containing a wide segment advances by
+		// the widest member.
+		rowEnd := -1
+		widest := 1
+		placed := map[*Segment]bool{}
+		for _, s := range cands {
+			if s.Lo <= rowEnd {
+				continue
+			}
+			s.Track = track
+			placed[s] = true
+			rowEnd = s.Hi
+			if s.Width > widest {
+				widest = s.Width
+			}
+		}
+		next := unplaced[:0]
+		for _, s := range unplaced {
+			if !placed[s] {
+				next = append(next, s)
+			}
+		}
+		unplaced = next
+		track += widest
+	}
+	ch.Tracks = track
+}
+
+// vcgPairs precomputes the vertical-constraint pairs (a must be above b)
+// among the given segments; the counts per iteration then cost O(pairs)
+// instead of O(n²) pin scans.
+func vcgPairs(segs []*Segment) [][2]*Segment {
+	var pairs [][2]*Segment
+	for _, top := range segs {
+		for _, bot := range segs {
+			if top == bot || top.Net == bot.Net {
+				continue
+			}
+			if mustBeAbove(top, bot) {
+				pairs = append(pairs, [2]*Segment{top, bot})
+			}
+		}
+	}
+	return pairs
+}
+
+// belowCounts returns, for each unplaced segment, how many still-unplaced
+// segments must lie below it.
+func belowCounts(unplaced []*Segment, pairs [][2]*Segment) map[*Segment]int {
+	below := make(map[*Segment]int, len(unplaced))
+	for _, s := range unplaced {
+		below[s] = 0
+	}
+	for _, pr := range pairs {
+		if _, a := below[pr[0]]; !a {
+			continue
+		}
+		if _, b := below[pr[1]]; !b {
+			continue
+		}
+		below[pr[0]]++
+	}
+	return below
+}
+
+// mustBeAbove reports whether segment a has a top pin at a column where b
+// has a bottom pin: a's track must then be above b's.
+func mustBeAbove(a, b *Segment) bool {
+	for _, pa := range a.Pins {
+		if !pa.FromTop {
+			continue
+		}
+		for _, pb := range b.Pins {
+			if !pb.FromTop && pb.Col == pa.Col {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dogleg splits one cycle participant at an interior column, appending the
+// right half as a new segment. It reports whether a split happened.
+func dogleg(ch *Channel, unplaced *[]*Segment) bool {
+	// Prefer a segment with an interior pin; fall back to the longest.
+	var pick *Segment
+	splitAt := -1
+	for _, s := range *unplaced {
+		for _, p := range s.Pins {
+			if p.Col > s.Lo && p.Col < s.Hi {
+				pick, splitAt = s, p.Col
+				break
+			}
+		}
+		if pick != nil {
+			break
+		}
+	}
+	if pick == nil {
+		for _, s := range *unplaced {
+			if s.Hi-s.Lo >= 2 && (pick == nil || s.Hi-s.Lo > pick.Hi-pick.Lo) {
+				pick = s
+			}
+		}
+		if pick == nil {
+			return false
+		}
+		splitAt = (pick.Lo + pick.Hi) / 2
+	}
+	right := &Segment{Net: pick.Net, Lo: splitAt, Hi: pick.Hi, Width: pick.Width, Track: -1, Dogleg: true}
+	var leftPins []Pin
+	for _, p := range pick.Pins {
+		if p.Col > splitAt {
+			right.Pins = append(right.Pins, p)
+		} else {
+			leftPins = append(leftPins, p)
+		}
+	}
+	pick.Hi = splitAt
+	pick.Pins = leftPins
+	pick.Dogleg = true
+	ch.Segments = append(ch.Segments, right)
+	*unplaced = append(*unplaced, right)
+	return true
+}
+
+// accumulate computes final lengths and area from the solved channels.
+func (res *Result) accumulate(ckt *circuit.Circuit, graphs []*rgraph.Graph) {
+	t := ckt.Tech
+	res.WidthUm = float64(ckt.Cols) * t.PitchX
+	res.HeightUm = float64(ckt.Rows) * t.RowHeight
+	chanHeight := make([]float64, len(res.Channels))
+	for ci := range res.Channels {
+		h := float64(res.Channels[ci].Tracks) * t.TrackPitch
+		chanHeight[ci] = h
+		res.HeightUm += h
+	}
+	trackY := func(ci, track, width int) float64 {
+		return (float64(track) + float64(width)/2) * t.TrackPitch
+	}
+	// Horizontal spans and vertical entries.
+	for ci := range res.Channels {
+		chn := &res.Channels[ci]
+		for _, s := range chn.Segments {
+			res.NetLenUm[s.Net] += float64(s.Hi-s.Lo) * t.PitchX
+			if s.Lo == s.Hi {
+				// Straight-through: full channel height.
+				res.NetLenUm[s.Net] += chanHeight[ci]
+				continue
+			}
+			y := trackY(ci, s.Track, s.Width)
+			for _, p := range s.Pins {
+				if p.FromTop {
+					res.NetLenUm[s.Net] += chanHeight[ci] - y
+				} else {
+					res.NetLenUm[s.Net] += y
+				}
+			}
+		}
+		// Dogleg jogs: adjacent same-net segments sharing a column.
+		for i, a := range chn.Segments {
+			if !a.Dogleg || a.Track < 0 {
+				continue
+			}
+			for _, b := range chn.Segments[i+1:] {
+				if b.Net == a.Net && b.Dogleg && b.Track >= 0 && (b.Lo == a.Hi || b.Hi == a.Lo) {
+					dy := trackY(ci, a.Track, a.Width) - trackY(ci, b.Track, b.Width)
+					if dy < 0 {
+						dy = -dy
+					}
+					res.NetLenUm[a.Net] += dy
+				}
+			}
+		}
+	}
+	// Feedthrough verticals.
+	for n, g := range graphs {
+		for _, e := range g.AliveEdges() {
+			if g.Edges[e].Kind == rgraph.EFeed {
+				res.NetLenUm[n] += t.RowHeight
+			}
+		}
+	}
+	for _, l := range res.NetLenUm {
+		res.TotalLenUm += l
+	}
+	res.AreaMm2 = res.WidthUm * res.HeightUm / 1e6
+}
+
+// Algorithm selects the channel-routing algorithm.
+type Algorithm int
+
+const (
+	// LeftEdge is the constrained left-edge router with a global VCG
+	// pass and doglegs (the default).
+	LeftEdge Algorithm = iota
+	// Greedy is the column-scan greedy router (Rivest-Fiduccia flavor).
+	Greedy
+)
+
+// RouteWith is Route with an explicit algorithm choice.
+func RouteWith(ckt *circuit.Circuit, graphs []*rgraph.Graph, algo Algorithm) (*Result, error) {
+	chans, err := Extract(ckt, graphs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Channels: chans,
+		NetLenUm: make([]float64, len(ckt.Nets)),
+	}
+	for ci := range res.Channels {
+		switch algo {
+		case Greedy:
+			SolveGreedy(&res.Channels[ci])
+		default:
+			Solve(&res.Channels[ci])
+		}
+	}
+	res.accumulate(ckt, graphs)
+	return res, nil
+}

@@ -1,0 +1,27 @@
+package chanroute_test
+
+import (
+	"fmt"
+
+	"repro/internal/chanroute"
+)
+
+// ExampleSolve routes one channel with the constrained left-edge
+// algorithm: two non-overlapping segments share a track, and a vertical
+// constraint keeps the top-pin net above the bottom-pin net.
+func ExampleSolve() {
+	ch := &chanroute.Channel{Segments: []*chanroute.Segment{
+		{Net: 0, Lo: 0, Hi: 4, Width: 1, Track: -1},
+		{Net: 1, Lo: 5, Hi: 9, Width: 1, Track: -1},
+		{Net: 2, Lo: 2, Hi: 7, Width: 1, Track: -1,
+			Pins: []chanroute.Pin{{Col: 3, FromTop: true}}},
+		{Net: 3, Lo: 3, Hi: 8, Width: 1, Track: -1,
+			Pins: []chanroute.Pin{{Col: 3, FromTop: false}}},
+	}}
+	chanroute.Solve(ch)
+	fmt.Printf("tracks: %d, violations: %d\n", ch.Tracks, ch.VCGViolations)
+	fmt.Printf("net 2 above net 3: %v\n", ch.Segments[2].Track > ch.Segments[3].Track)
+	// Output:
+	// tracks: 3, violations: 0
+	// net 2 above net 3: true
+}

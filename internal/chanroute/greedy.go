@@ -1,0 +1,246 @@
+package chanroute
+
+import "sort"
+
+// SolveGreedy assigns tracks with a column-scan greedy router in the
+// spirit of Rivest-Fiduccia: segments claim tracks as the scan reaches
+// their left edge (bottom pins prefer low tracks, top pins high tracks),
+// and vertical conflicts discovered at a pin column are resolved by
+// moving or splitting the upper net to a higher track (a jog). It is the
+// comparison algorithm to Solve's constrained left-edge; it may use more
+// tracks but needs no global VCG pass. Any constraint it cannot satisfy
+// is counted in VCGViolations by a final audit.
+func SolveGreedy(ch *Channel) {
+	g := &greedy{ch: ch}
+	var segs []*Segment
+	maxCol := 0
+	for _, s := range ch.Segments {
+		if s.Lo < s.Hi {
+			segs = append(segs, s)
+			if s.Hi > maxCol {
+				maxCol = s.Hi
+			}
+		}
+	}
+	if len(segs) == 0 {
+		ch.Tracks = 0
+		return
+	}
+	starts := map[int][]*Segment{}
+	for _, s := range segs {
+		starts[s.Lo] = append(starts[s.Lo], s)
+	}
+	for c := 0; c <= maxCol; c++ {
+		newcomers := starts[c]
+		// Bottom-pin newcomers first so they land low before top-pin
+		// newcomers take the high tracks.
+		sort.SliceStable(newcomers, func(i, j int) bool {
+			return pinSideRank(newcomers[i], c) < pinSideRank(newcomers[j], c)
+		})
+		for _, s := range newcomers {
+			g.claim(s, pinSideRank(s, c) == 2)
+		}
+		// Jogs can expose further conflicts at the same column, so
+		// iterate to a bounded fixpoint.
+		for iter := 0; iter < 2*len(segs)+4; iter++ {
+			if !g.resolveColumn(c) {
+				break
+			}
+		}
+	}
+	ch.Tracks = len(g.tracks)
+	ch.VCGViolations += auditVCG(ch)
+}
+
+// greedy keeps the full placement history per track so interval freedom
+// is always exact.
+type greedy struct {
+	ch     *Channel
+	tracks [][]*Segment
+}
+
+// fits reports whether segment s could sit on track t (no overlap with a
+// different net).
+func (g *greedy) fits(t int, s *Segment) bool {
+	for _, o := range g.tracks[t] {
+		if o == s || o.Net == s.Net {
+			continue
+		}
+		if s.Lo <= o.Hi && o.Lo <= s.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// groupFits checks s.Width adjacent tracks starting at t.
+func (g *greedy) groupFits(t int, s *Segment) bool {
+	w := max(s.Width, 1)
+	if t < 0 || t+w > len(g.tracks) {
+		return false
+	}
+	for j := 0; j < w; j++ {
+		if !g.fits(t+j, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *greedy) place(t int, s *Segment) {
+	w := max(s.Width, 1)
+	for j := 0; j < w; j++ {
+		g.tracks[t+j] = append(g.tracks[t+j], s)
+	}
+	s.Track = t
+}
+
+func (g *greedy) unplace(s *Segment) {
+	w := max(s.Width, 1)
+	for j := 0; j < w; j++ {
+		t := s.Track + j
+		list := g.tracks[t][:0]
+		for _, o := range g.tracks[t] {
+			if o != s {
+				list = append(list, o)
+			}
+		}
+		g.tracks[t] = list
+	}
+}
+
+func (g *greedy) grow(n int) {
+	for i := 0; i < n; i++ {
+		g.tracks = append(g.tracks, nil)
+	}
+}
+
+// claim finds a track group for a newcomer, preferring the top of the
+// channel for segments entering with a top pin.
+func (g *greedy) claim(s *Segment, preferTop bool) {
+	w := max(s.Width, 1)
+	pick := -1
+	if preferTop {
+		for t := len(g.tracks) - w; t >= 0; t-- {
+			if g.groupFits(t, s) {
+				pick = t
+				break
+			}
+		}
+	} else {
+		for t := 0; t+w <= len(g.tracks); t++ {
+			if g.groupFits(t, s) {
+				pick = t
+				break
+			}
+		}
+	}
+	if pick == -1 {
+		g.grow(w)
+		pick = len(g.tracks) - w
+	}
+	g.place(pick, s)
+}
+
+// pinSideRank classifies a segment's pin at a column: 0 bottom pin, 2 top
+// pin, 1 none.
+func pinSideRank(s *Segment, col int) int {
+	rank := 1
+	for _, p := range s.Pins {
+		if p.Col != col {
+			continue
+		}
+		if p.FromTop {
+			rank = 2
+		} else if rank != 2 {
+			rank = 0
+		}
+	}
+	return rank
+}
+
+// resolveColumn fixes one vertical conflict at column c (a top pin's net
+// at or below a bottom pin's net) by moving or splitting the upper net to
+// a higher track. Reports whether it changed anything.
+func (g *greedy) resolveColumn(c int) bool {
+	var tops, bottoms []*Segment
+	for _, s := range g.ch.Segments {
+		if s.Track < 0 || s.Lo > c || s.Hi < c || s.Lo >= s.Hi {
+			continue
+		}
+		switch pinSideRank(s, c) {
+		case 2:
+			tops = append(tops, s)
+		case 0:
+			bottoms = append(bottoms, s)
+		}
+	}
+	for _, top := range tops {
+		if top.Width > 1 {
+			continue // wide wires are not jogged
+		}
+		for _, bot := range bottoms {
+			if top.Net == bot.Net || top.Track > bot.Track {
+				continue
+			}
+			if c <= top.Lo || c >= top.Hi {
+				// Boundary pin: move the whole segment above bot.
+				g.unplace(top)
+				pick := g.findAbove(top, bot.Track)
+				g.place(pick, top)
+				return true
+			}
+			// Interior pin: split at c, the right part goes above bot.
+			right := &Segment{Net: top.Net, Lo: c, Hi: top.Hi, Width: top.Width, Track: -1, Dogleg: true}
+			var keep []Pin
+			for _, p := range top.Pins {
+				if p.Col >= c {
+					right.Pins = append(right.Pins, p)
+				} else {
+					keep = append(keep, p)
+				}
+			}
+			// Shrinking the left part frees columns on its track.
+			top.Pins = keep
+			top.Hi = c
+			top.Dogleg = true
+			pick := g.findAbove(right, bot.Track)
+			g.place(pick, right)
+			g.ch.Segments = append(g.ch.Segments, right)
+			return true
+		}
+	}
+	return false
+}
+
+// findAbove returns a track strictly above `floor` where s fits, growing
+// the channel if necessary.
+func (g *greedy) findAbove(s *Segment, floor int) int {
+	for t := len(g.tracks) - 1; t > floor; t-- {
+		if g.groupFits(t, s) {
+			return t
+		}
+	}
+	g.grow(max(s.Width, 1))
+	return len(g.tracks) - max(s.Width, 1)
+}
+
+// auditVCG counts vertical constraints the greedy scan failed to satisfy,
+// so the result honestly reports its quality.
+func auditVCG(ch *Channel) int {
+	count := 0
+	for _, a := range ch.Segments {
+		if a.Track < 0 {
+			continue
+		}
+		for _, b := range ch.Segments {
+			if a == b || b.Track < 0 || a.Net == b.Net {
+				continue
+			}
+			if mustBeAbove(a, b) && a.Track <= b.Track {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,164 @@
+package chanroute
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+func TestGreedySimple(t *testing.T) {
+	ch := &Channel{Segments: []*Segment{seg(0, 0, 4), seg(1, 5, 9), seg(2, 2, 7)}}
+	SolveGreedy(ch)
+	if ch.Tracks != 2 {
+		t.Fatalf("tracks = %d, want 2", ch.Tracks)
+	}
+	for i, a := range ch.Segments {
+		for _, b := range ch.Segments[i+1:] {
+			if a.Track == b.Track && a.Net != b.Net && a.Lo <= b.Hi && b.Lo <= a.Hi {
+				t.Fatalf("overlap on track %d: nets %d and %d", a.Track, a.Net, b.Net)
+			}
+		}
+	}
+}
+
+func TestGreedyRespectsVerticalConstraint(t *testing.T) {
+	ch := &Channel{Segments: []*Segment{
+		seg(0, 0, 5, Pin{Col: 3, FromTop: true}),
+		seg(1, 3, 8, Pin{Col: 3, FromTop: false}),
+	}}
+	SolveGreedy(ch)
+	if ch.VCGViolations != 0 {
+		t.Fatalf("violations = %d", ch.VCGViolations)
+	}
+	// At column 3 the top-pin net's occupying segment must be above the
+	// bottom-pin net's.
+	topAt, botAt := -1, -1
+	for _, s := range ch.Segments {
+		if s.Lo <= 3 && 3 <= s.Hi && s.Track >= 0 {
+			if s.Net == 0 && pinSideRank(s, 3) == 2 {
+				topAt = s.Track
+			}
+			if s.Net == 1 && pinSideRank(s, 3) == 0 {
+				botAt = s.Track
+			}
+		}
+	}
+	if topAt == -1 || botAt == -1 {
+		t.Fatalf("pins lost during routing: top %d bot %d\n%+v", topAt, botAt, ch.Segments)
+	}
+	if topAt <= botAt {
+		t.Fatalf("top net on track %d not above bottom net on %d", topAt, botAt)
+	}
+}
+
+func TestGreedyCycleResolvedByJog(t *testing.T) {
+	ch := &Channel{Segments: []*Segment{
+		seg(0, 0, 8, Pin{Col: 2, FromTop: true}, Pin{Col: 6, FromTop: false}),
+		seg(1, 1, 9, Pin{Col: 2, FromTop: false}, Pin{Col: 6, FromTop: true}),
+	}}
+	SolveGreedy(ch)
+	if ch.VCGViolations != 0 {
+		t.Fatalf("cycle unresolved: %d violations", ch.VCGViolations)
+	}
+	jogged := false
+	for _, s := range ch.Segments {
+		if s.Dogleg {
+			jogged = true
+		}
+	}
+	if !jogged {
+		t.Fatal("no jog recorded for the VCG cycle")
+	}
+}
+
+func TestGreedyWideSegment(t *testing.T) {
+	ch := &Channel{Segments: []*Segment{
+		{Net: 0, Lo: 0, Hi: 9, Width: 2, Track: -1},
+		{Net: 1, Lo: 2, Hi: 5, Width: 1, Track: -1},
+	}}
+	SolveGreedy(ch)
+	if ch.Tracks != 3 {
+		t.Fatalf("tracks = %d, want 3", ch.Tracks)
+	}
+}
+
+// TestGreedyVsLeftEdgeQuick compares the two algorithms on random
+// channels: both must be overlap-free and within a small factor of the
+// density lower bound.
+func TestGreedyVsLeftEdgeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Channel {
+			ch := &Channel{}
+			for i := 0; i < 10; i++ {
+				lo := rng.Intn(18)
+				hi := lo + 1 + rng.Intn(8)
+				s := seg(i, lo, hi)
+				if rng.Intn(2) == 0 {
+					s.Pins = append(s.Pins, Pin{Col: lo + rng.Intn(hi-lo), FromTop: rng.Intn(2) == 0})
+				}
+				ch.Segments = append(ch.Segments, s)
+			}
+			return ch
+		}
+		rngState := rng.Int63()
+		rng = rand.New(rand.NewSource(rngState))
+		a := mk()
+		rng = rand.New(rand.NewSource(rngState))
+		b := mk()
+		Solve(a)
+		SolveGreedy(b)
+		check := func(ch *Channel) bool {
+			for i, x := range ch.Segments {
+				if x.Lo >= x.Hi || x.Track < 0 {
+					continue
+				}
+				for _, y := range ch.Segments[i+1:] {
+					if y.Lo >= y.Hi || y.Track < 0 || y.Net == x.Net {
+						continue
+					}
+					if y.Track == x.Track && x.Lo <= y.Hi && y.Lo <= x.Hi {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		d := maxDensity(a)
+		return check(a) && check(b) && a.Tracks >= d && b.Tracks >= d && b.Tracks <= 3*d+4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(43))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteWithBothAlgorithms(t *testing.T) {
+	gres, err := core.Route(circuit.SampleSmall(), core.Config{UseConstraints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lea, err := RouteWith(gres.Ckt, gres.Graphs, LeftEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd, err := RouteWith(gres.Ckt, gres.Graphs, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lea.AreaMm2 <= 0 || grd.AreaMm2 <= 0 {
+		t.Fatal("missing areas")
+	}
+	// Both must produce positive lengths for every net; the greedy one may
+	// be taller but not absurdly so.
+	for n := range gres.Ckt.Nets {
+		if lea.NetLenUm[n] <= 0 || grd.NetLenUm[n] <= 0 {
+			t.Fatalf("net %d: lengths %v / %v", n, lea.NetLenUm[n], grd.NetLenUm[n])
+		}
+	}
+	if grd.HeightUm > lea.HeightUm*2 {
+		t.Fatalf("greedy chip height %v implausible vs LEA %v", grd.HeightUm, lea.HeightUm)
+	}
+}

@@ -1,0 +1,300 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleSmallValidates(t *testing.T) {
+	c := SampleSmall()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("SampleSmall invalid: %v", err)
+	}
+}
+
+func TestSampleDiffValidates(t *testing.T) {
+	c := SampleDiff()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("SampleDiff invalid: %v", err)
+	}
+}
+
+func TestDriverResolution(t *testing.T) {
+	c := SampleSmall()
+	// Net nIn is driven by the external input pad IN0.
+	drv, err := c.Driver(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drv.IsExt() || c.Ext[drv.Pin].Name != "IN0" {
+		t.Fatalf("net nIn driver = %v, want external IN0", drv)
+	}
+	// Net n1 is driven by the cell pin b0.Z.
+	drv, err = c.Driver(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PinName(drv); got != "b0.Z" {
+		t.Fatalf("net n1 driver = %s, want b0.Z", got)
+	}
+}
+
+func TestTerminalsDriverFirst(t *testing.T) {
+	c := SampleSmall()
+	for n := range c.Nets {
+		ts := c.Terminals(n)
+		if len(ts) < 2 {
+			t.Fatalf("net %s: %d terminals", c.Nets[n].Name, len(ts))
+		}
+		if c.DirOf(ts[0]) != Out {
+			t.Errorf("net %s: first terminal %s is not the driver", c.Nets[n].Name, c.PinName(ts[0]))
+		}
+		for _, s := range ts[1:] {
+			if c.DirOf(s) != In {
+				t.Errorf("net %s: fan-out %s has direction out", c.Nets[n].Name, c.PinName(s))
+			}
+		}
+	}
+}
+
+func TestFanoutLoad(t *testing.T) {
+	c := SampleSmall()
+	// n1 fans out to g1.A (22 fF) and g2.A (22 fF).
+	if got := c.FanoutLoad(1); got != 44 {
+		t.Fatalf("FanoutLoad(n1) = %v, want 44", got)
+	}
+	// nq fans out to OUT0 (30 fF).
+	if got := c.FanoutLoad(5); got != 30 {
+		t.Fatalf("FanoutLoad(nq) = %v, want 30", got)
+	}
+}
+
+func TestPositionsOf(t *testing.T) {
+	c := SampleSmall()
+	// b0.Z: BUF at row 0 col 2, output taps at offsets 0 and 2, top side.
+	ref := PinRef{Cell: 0, Pin: 1}
+	got := c.PositionsOf(ref)
+	want := []Position{{Channel: 1, Col: 2}, {Channel: 1, Col: 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PositionsOf(b0.Z) = %v, want %v", got, want)
+	}
+	// External IN0: bottom side -> channel 0, columns 0 and 6.
+	got = c.PositionsOf(Ext(0))
+	want = []Position{{Channel: 0, Col: 0}, {Channel: 0, Col: 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PositionsOf(IN0) = %v, want %v", got, want)
+	}
+}
+
+func TestPinNetIndexCoversAllTerminals(t *testing.T) {
+	c := SampleSmall()
+	idx := c.BuildPinNetIndex()
+	for n := range c.Nets {
+		for _, p := range c.Nets[n].Pins {
+			if idx[p] != n {
+				t.Errorf("index maps %s to net %d, want %d", c.PinName(p), idx[p], n)
+			}
+		}
+	}
+	for i := range c.Ext {
+		if idx[Ext(i)] != c.Ext[i].Net {
+			t.Errorf("index maps ext %s to net %d, want %d", c.Ext[i].Name, idx[Ext(i)], c.Ext[i].Net)
+		}
+	}
+}
+
+func TestRoundTripFormatParse(t *testing.T) {
+	for _, build := range []func() *Circuit{SampleSmall, SampleDiff} {
+		orig := build()
+		var buf bytes.Buffer
+		if err := Format(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("parse %s: %v\n%s", orig.Name, err, buf.String())
+		}
+		var buf2 bytes.Buffer
+		if err := Format(&buf2, parsed); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != buf2.String() {
+			t.Fatalf("%s: format/parse/format not a fixed point:\n--- first\n%s\n--- second\n%s",
+				orig.Name, buf.String(), buf2.String())
+		}
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"unknown keyword", "bogus x\n", "unknown keyword"},
+		{"pin outside celltype", "pin A in bottom offs=0\n", "pin outside celltype"},
+		{"unknown cell type", "size rows=1 cols=4\ncell u X row=0 col=0\n", "unknown type"},
+		{"bad side", "celltype T width=1\n  pin A in middle offs=0\n", "pin side"},
+		{"dup celltype", "celltype T width=1\ncelltype T width=1\n", "duplicate"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.text))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	c := SampleSmall()
+	c.Cells[1].Col = 3 // NOR2 g1 (width 3) now overlaps BUF b0 at [2,5)
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("want overlap error, got %v", err)
+	}
+}
+
+func TestValidateCatchesCombinationalCycle(t *testing.T) {
+	c := SampleSmall()
+	// n2 goes g1.Z -> g2.B and n3 goes g2.Z -> i1.A; moving g1.B from nIn
+	// onto n4 (driven by i1.Z) closes the loop g1 -> g2 -> i1 -> g1.
+	c.Nets[0].Pins = c.Nets[0].Pins[:1]
+	c.Nets[4].Pins = append(c.Nets[4].Pins, PinRef{Cell: 1, Pin: 1})
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want combinational cycle error, got %v", err)
+	}
+}
+
+func TestValidateCatchesMultipleDrivers(t *testing.T) {
+	c := SampleSmall()
+	// Add b0.Z to net n2, which already has driver g1.Z.
+	c.Nets[2].Pins = append(c.Nets[2].Pins, PinRef{Cell: 0, Pin: 1})
+	if err := c.Validate(); err == nil {
+		t.Fatal("want multiple-driver error, got nil")
+	}
+}
+
+func TestValidateDiffPairSymmetry(t *testing.T) {
+	c := SampleDiff()
+	// Break mutuality.
+	c.Nets[1].DiffMate = NoNet
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "mutual") {
+		t.Fatalf("want mutuality error, got %v", err)
+	}
+	// Restore and break parallelism by giving qb an extra terminal.
+	c = SampleDiff()
+	c.Nets[1].Pins = append(c.Nets[1].Pins, PinRef{Cell: 1, Pin: 0}) // b0.A
+	if err := c.Validate(); err == nil {
+		t.Fatal("want parallelism error, got nil")
+	}
+}
+
+func TestWireCapPerUm(t *testing.T) {
+	tech := DefaultTech
+	if got, want := tech.WireCapPerUm(1), tech.CapPerUm; got != want {
+		t.Fatalf("1-pitch cap %v, want %v", got, want)
+	}
+	if got, want := tech.WireCapPerUm(2), tech.CapPerUm*(1+tech.WideCap); got != want {
+		t.Fatalf("2-pitch cap %v, want %v", got, want)
+	}
+	if got := tech.WireCapPerUm(0); got != tech.CapPerUm {
+		t.Fatalf("0-pitch cap clamps to 1 pitch, got %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := SampleSmall()
+	d := c.Clone()
+	d.Cells[0].Col = 99
+	d.Nets[1].Pins[0] = PinRef{Cell: 3, Pin: 0}
+	d.Lib[0].Pins[0].Offsets[0] = 7
+	d.Cons[0].Limit = 1
+	if c.Cells[0].Col == 99 || c.Lib[0].Pins[0].Offsets[0] == 7 || c.Cons[0].Limit == 1 {
+		t.Fatal("Clone shares memory with original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("original damaged by mutation of clone: %v", err)
+	}
+}
+
+// TestCloneEquivalentQuick checks, over random mutations of query inputs,
+// that Clone answers every query identically to the original.
+func TestCloneEquivalentQuick(t *testing.T) {
+	c := SampleSmall()
+	d := c.Clone()
+	f := func(netRaw uint) bool {
+		n := int(netRaw % uint(len(c.Nets)))
+		if c.FanoutLoad(n) != d.FanoutLoad(n) {
+			return false
+		}
+		tc, td := c.Terminals(n), d.Terminals(n)
+		return reflect.DeepEqual(tc, td)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPositionsWithinChip is a property: every terminal position of every
+// valid sample circuit lies inside the chip.
+func TestPositionsWithinChip(t *testing.T) {
+	for _, build := range []func() *Circuit{SampleSmall, SampleDiff} {
+		c := build()
+		check := func(ref PinRef) {
+			for _, pos := range c.PositionsOf(ref) {
+				if pos.Col < 0 || pos.Col >= c.Cols {
+					t.Errorf("%s: %s column %d outside chip", c.Name, c.PinName(ref), pos.Col)
+				}
+				if pos.Channel < 0 || pos.Channel > c.Rows {
+					t.Errorf("%s: %s channel %d outside chip", c.Name, c.PinName(ref), pos.Channel)
+				}
+			}
+		}
+		for n := range c.Nets {
+			for _, p := range c.Nets[n].Pins {
+				check(p)
+			}
+		}
+		for i := range c.Ext {
+			check(Ext(i))
+		}
+	}
+}
+
+func TestTechValidate(t *testing.T) {
+	good := DefaultTech
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Tech){
+		func(x *Tech) { x.PitchX = 0 },
+		func(x *Tech) { x.RowHeight = -1 },
+		func(x *Tech) { x.TrackPitch = 0 },
+		func(x *Tech) { x.CapPerUm = 0 },
+		func(x *Tech) { x.BranchLen = -1 },
+		func(x *Tech) { x.WideCap = -0.1 },
+	}
+	for i, mut := range bads {
+		tech := DefaultTech
+		mut(&tech)
+		if err := tech.Validate(); err == nil {
+			t.Errorf("bad tech %d accepted", i)
+		}
+	}
+	// Circuit validation picks it up too.
+	c := SampleSmall()
+	c.Tech.CapPerUm = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("circuit with bad tech accepted")
+	}
+}
+
+func TestValidateRejectsWideDiffPair(t *testing.T) {
+	c := SampleDiff()
+	c.Nets[0].Pitch = 2
+	c.Nets[1].Pitch = 2
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "single-pitch") {
+		t.Fatalf("wide diff pair accepted: %v", err)
+	}
+}

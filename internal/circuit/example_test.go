@@ -1,0 +1,50 @@
+package circuit_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// ExampleParse reads a minimal circuit from its text format.
+func ExampleParse() {
+	text := `
+circuit demo
+size rows=1 cols=10
+celltype INV width=2
+  pin A in bottom offs=0 fin=20
+  pin Z out top offs=1 tf=0.3 td=0.25
+  arc A Z 90
+celltype FEED width=1 feed
+cell u1 INV row=0 col=1
+cell u2 INV row=0 col=5
+cell f1 FEED row=0 col=4
+net n1 pitch=1 pins=u1.Z,u2.A
+ext IN net=nin side=bottom cols=0 dir=in tf=0.2 td=0.2
+net nin pitch=1 pins=u1.A
+constraint P0 limit=500 from=IN to=u2.A
+`
+	ckt, err := circuit.Parse(strings.NewReader(text))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	drv, _ := ckt.Driver(0)
+	fmt.Printf("%s: %d cells, %d nets; n1 driven by %s\n",
+		ckt.Name, len(ckt.Cells), len(ckt.Nets), ckt.PinName(drv))
+	// Output:
+	// demo: 3 cells, 2 nets; n1 driven by u1.Z
+}
+
+// ExampleCircuit_Terminals lists a net's terminals, driver first.
+func ExampleCircuit_Terminals() {
+	ckt := circuit.SampleSmall()
+	for _, ref := range ckt.Terminals(1) { // net n1
+		fmt.Println(ckt.PinName(ref))
+	}
+	// Output:
+	// b0.Z
+	// g1.A
+	// g2.A
+}

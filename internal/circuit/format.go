@@ -1,0 +1,577 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The circuit text format is line based. '#' starts a comment. Example:
+//
+//	circuit C1
+//	tech pitchx=10 rowheight=40 trackpitch=8 capperum=0.2 branchlen=16 widecap=0.6
+//	size rows=3 cols=60
+//	celltype NAND2 width=3
+//	  pin A in bottom offs=0 fin=25
+//	  pin Z out top offs=1,2 tf=0.3 td=0.2
+//	  arc A Z 80
+//	celltype DFF width=5 seq
+//	  ...
+//	celltype FEED width=1 feed
+//	cell u1 NAND2 row=0 col=10
+//	net n1 pitch=1 pins=u1.Z,u2.A
+//	diff n1 n2
+//	ext CLKIN net=nclk side=bottom cols=5,30 dir=in tf=0.2 td=0.15
+//	ext DOUT net=n7 side=top cols=55 dir=out fin=30
+//	constraint P0 limit=850 from=u1.Z to=u9.D,DOUT
+
+// Format writes the circuit in the text format.
+func Format(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	t := c.Tech
+	fmt.Fprintf(bw, "tech pitchx=%g rowheight=%g trackpitch=%g capperum=%g branchlen=%g widecap=%g\n",
+		t.PitchX, t.RowHeight, t.TrackPitch, t.CapPerUm, t.BranchLen, t.WideCap)
+	fmt.Fprintf(bw, "size rows=%d cols=%d\n", c.Rows, c.Cols)
+	for i := range c.Lib {
+		ct := &c.Lib[i]
+		fmt.Fprintf(bw, "celltype %s width=%d", ct.Name, ct.Width)
+		if ct.Sequential {
+			fmt.Fprint(bw, " seq")
+		}
+		if ct.Feed {
+			fmt.Fprint(bw, " feed")
+		}
+		fmt.Fprintln(bw)
+		for j := range ct.Pins {
+			p := &ct.Pins[j]
+			fmt.Fprintf(bw, "  pin %s %s %s offs=%s", p.Name, p.Dir, p.Side, joinInts(p.Offsets))
+			if p.Dir == In {
+				fmt.Fprintf(bw, " fin=%g", p.Fin)
+			} else {
+				fmt.Fprintf(bw, " tf=%g td=%g", p.Tf, p.Td)
+			}
+			fmt.Fprintln(bw)
+		}
+		for _, a := range ct.Arcs {
+			fmt.Fprintf(bw, "  arc %s %s %g\n", a.From, a.To, a.T0)
+		}
+	}
+	for i := range c.Cells {
+		cell := &c.Cells[i]
+		fmt.Fprintf(bw, "cell %s %s row=%d col=%d\n", cell.Name, c.Lib[cell.Type].Name, cell.Row, cell.Col)
+	}
+	for n := range c.Nets {
+		net := &c.Nets[n]
+		pins := make([]string, len(net.Pins))
+		for i, p := range net.Pins {
+			pins[i] = c.PinName(p)
+		}
+		fmt.Fprintf(bw, "net %s pitch=%d pins=%s\n", net.Name, net.Pitch, strings.Join(pins, ","))
+	}
+	for n := range c.Nets {
+		if m := c.Nets[n].DiffMate; m != NoNet && n < m {
+			fmt.Fprintf(bw, "diff %s %s\n", c.Nets[n].Name, c.Nets[m].Name)
+		}
+	}
+	for i := range c.Ext {
+		e := &c.Ext[i]
+		fmt.Fprintf(bw, "ext %s net=%s side=%s cols=%s dir=%s", e.Name, c.Nets[e.Net].Name, e.Side, joinInts(e.Cols), e.Dir)
+		if e.Dir == In {
+			fmt.Fprintf(bw, " tf=%g td=%g", e.Tf, e.Td)
+		} else {
+			fmt.Fprintf(bw, " fin=%g", e.Fin)
+		}
+		fmt.Fprintln(bw)
+	}
+	for i := range c.Cons {
+		p := &c.Cons[i]
+		fmt.Fprintf(bw, "constraint %s limit=%g from=%s to=%s\n",
+			p.Name, p.Limit, c.joinRefs(p.From), c.joinRefs(p.To))
+	}
+	return bw.Flush()
+}
+
+func (c *Circuit) joinRefs(refs []PinRef) string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = c.PinName(r)
+	}
+	return strings.Join(out, ",")
+}
+
+func joinInts(xs []int) string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = strconv.Itoa(x)
+	}
+	return strings.Join(out, ",")
+}
+
+// Parse reads a circuit in the text format and validates it.
+func Parse(r io.Reader) (*Circuit, error) {
+	p := &parser{
+		c:        &Circuit{Tech: DefaultTech},
+		types:    map[string]int{},
+		cells:    map[string]int{},
+		nets:     map[string]int{},
+		exts:     map[string]int{},
+		scanner:  bufio.NewScanner(r),
+		pendDiff: nil,
+	}
+	p.scanner.Buffer(make([]byte, 1<<16), 1<<22)
+	for n := range p.c.Nets {
+		p.c.Nets[n].DiffMate = NoNet
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	if err := p.c.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: %w", err)
+	}
+	return p.c, nil
+}
+
+type parser struct {
+	c       *Circuit
+	types   map[string]int
+	cells   map[string]int
+	nets    map[string]int
+	exts    map[string]int
+	scanner *bufio.Scanner
+	line    int
+	curType int // cell type being defined, or -1
+
+	pendDiff [][2]string
+	pendCons []pendingConstraint
+	pendExt  []pendingExt
+}
+
+type pendingConstraint struct {
+	name       string
+	limit      float64
+	from, to   string
+	lineNumber int
+}
+
+type pendingExt struct {
+	e          ExtPin
+	netName    string
+	lineNumber int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: "+format, append([]any{p.line}, args...)...)
+}
+
+func (p *parser) run() error {
+	p.curType = -1
+	for p.scanner.Scan() {
+		p.line++
+		line := p.scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.statement(fields); err != nil {
+			return err
+		}
+	}
+	if err := p.scanner.Err(); err != nil {
+		return err
+	}
+	return p.resolvePending()
+}
+
+func (p *parser) statement(f []string) error {
+	kw := f[0]
+	if kw != "pin" && kw != "arc" {
+		p.curType = -1
+	}
+	switch kw {
+	case "circuit":
+		if len(f) != 2 {
+			return p.errf("circuit: want a name")
+		}
+		p.c.Name = f[1]
+	case "tech":
+		kv, err := p.kvs(f[1:])
+		if err != nil {
+			return err
+		}
+		t := &p.c.Tech
+		for k, v := range kv {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return p.errf("tech %s: %v", k, err)
+			}
+			switch k {
+			case "pitchx":
+				t.PitchX = x
+			case "rowheight":
+				t.RowHeight = x
+			case "trackpitch":
+				t.TrackPitch = x
+			case "capperum":
+				t.CapPerUm = x
+			case "branchlen":
+				t.BranchLen = x
+			case "widecap":
+				t.WideCap = x
+			default:
+				return p.errf("tech: unknown key %q", k)
+			}
+		}
+	case "size":
+		kv, err := p.kvs(f[1:])
+		if err != nil {
+			return err
+		}
+		var err2 error
+		if p.c.Rows, err2 = strconv.Atoi(kv["rows"]); err2 != nil {
+			return p.errf("size rows: %v", err2)
+		}
+		if p.c.Cols, err2 = strconv.Atoi(kv["cols"]); err2 != nil {
+			return p.errf("size cols: %v", err2)
+		}
+	case "celltype":
+		return p.cellType(f)
+	case "pin":
+		return p.pin(f)
+	case "arc":
+		return p.arc(f)
+	case "cell":
+		return p.cell(f)
+	case "net":
+		return p.net(f)
+	case "diff":
+		if len(f) != 3 {
+			return p.errf("diff: want two net names")
+		}
+		p.pendDiff = append(p.pendDiff, [2]string{f[1], f[2]})
+	case "ext":
+		return p.ext(f)
+	case "constraint":
+		return p.constraint(f)
+	default:
+		return p.errf("unknown keyword %q", kw)
+	}
+	return nil
+}
+
+func (p *parser) kvs(fields []string) (map[string]string, error) {
+	kv := map[string]string{}
+	for _, fld := range fields {
+		i := strings.IndexByte(fld, '=')
+		if i < 0 {
+			return nil, p.errf("expected key=value, got %q", fld)
+		}
+		kv[fld[:i]] = fld[i+1:]
+	}
+	return kv, nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		x, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+func (p *parser) cellType(f []string) error {
+	if len(f) < 3 {
+		return p.errf("celltype: want name and width")
+	}
+	ct := CellType{Name: f[1]}
+	for _, fld := range f[2:] {
+		switch {
+		case fld == "seq":
+			ct.Sequential = true
+		case fld == "feed":
+			ct.Feed = true
+		case strings.HasPrefix(fld, "width="):
+			w, err := strconv.Atoi(fld[len("width="):])
+			if err != nil {
+				return p.errf("celltype width: %v", err)
+			}
+			ct.Width = w
+		default:
+			return p.errf("celltype: unknown field %q", fld)
+		}
+	}
+	if _, dup := p.types[ct.Name]; dup {
+		return p.errf("celltype %q: duplicate", ct.Name)
+	}
+	p.types[ct.Name] = len(p.c.Lib)
+	p.c.Lib = append(p.c.Lib, ct)
+	p.curType = len(p.c.Lib) - 1
+	return nil
+}
+
+func (p *parser) pin(f []string) error {
+	if p.curType < 0 {
+		return p.errf("pin outside celltype")
+	}
+	if len(f) < 4 {
+		return p.errf("pin: want name dir side [key=value...]")
+	}
+	pd := PinDef{Name: f[1]}
+	switch f[2] {
+	case "in":
+		pd.Dir = In
+	case "out":
+		pd.Dir = Out
+	default:
+		return p.errf("pin dir %q", f[2])
+	}
+	switch f[3] {
+	case "bottom":
+		pd.Side = Bottom
+	case "top":
+		pd.Side = Top
+	default:
+		return p.errf("pin side %q", f[3])
+	}
+	kv, err := p.kvs(f[4:])
+	if err != nil {
+		return err
+	}
+	for k, v := range kv {
+		switch k {
+		case "offs":
+			pd.Offsets, err = parseIntList(v)
+		case "fin":
+			pd.Fin, err = strconv.ParseFloat(v, 64)
+		case "tf":
+			pd.Tf, err = strconv.ParseFloat(v, 64)
+		case "td":
+			pd.Td, err = strconv.ParseFloat(v, 64)
+		default:
+			return p.errf("pin: unknown key %q", k)
+		}
+		if err != nil {
+			return p.errf("pin %s: %v", k, err)
+		}
+	}
+	p.c.Lib[p.curType].Pins = append(p.c.Lib[p.curType].Pins, pd)
+	return nil
+}
+
+func (p *parser) arc(f []string) error {
+	if p.curType < 0 {
+		return p.errf("arc outside celltype")
+	}
+	if len(f) != 4 {
+		return p.errf("arc: want from to delay")
+	}
+	t0, err := strconv.ParseFloat(f[3], 64)
+	if err != nil {
+		return p.errf("arc delay: %v", err)
+	}
+	p.c.Lib[p.curType].Arcs = append(p.c.Lib[p.curType].Arcs, Arc{From: f[1], To: f[2], T0: t0})
+	return nil
+}
+
+func (p *parser) cell(f []string) error {
+	if len(f) < 3 {
+		return p.errf("cell: want name type")
+	}
+	ti, ok := p.types[f[2]]
+	if !ok {
+		return p.errf("cell %q: unknown type %q", f[1], f[2])
+	}
+	kv, err := p.kvs(f[3:])
+	if err != nil {
+		return err
+	}
+	cell := Cell{Name: f[1], Type: ti}
+	if cell.Row, err = strconv.Atoi(kv["row"]); err != nil {
+		return p.errf("cell row: %v", err)
+	}
+	if cell.Col, err = strconv.Atoi(kv["col"]); err != nil {
+		return p.errf("cell col: %v", err)
+	}
+	if _, dup := p.cells[cell.Name]; dup {
+		return p.errf("cell %q: duplicate", cell.Name)
+	}
+	p.cells[cell.Name] = len(p.c.Cells)
+	p.c.Cells = append(p.c.Cells, cell)
+	return nil
+}
+
+func (p *parser) parseRef(s string) (PinRef, error) {
+	if i, ok := p.exts[s]; ok {
+		return Ext(i), nil
+	}
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		return PinRef{}, fmt.Errorf("terminal %q: want cell.pin or an external name", s)
+	}
+	ci, ok := p.cells[s[:dot]]
+	if !ok {
+		return PinRef{}, fmt.Errorf("terminal %q: unknown cell", s)
+	}
+	pi := p.c.Lib[p.c.Cells[ci].Type].PinIndex(s[dot+1:])
+	if pi < 0 {
+		return PinRef{}, fmt.Errorf("terminal %q: unknown pin", s)
+	}
+	return PinRef{Cell: ci, Pin: pi}, nil
+}
+
+func (p *parser) net(f []string) error {
+	if len(f) < 2 {
+		return p.errf("net: want name")
+	}
+	kv, err := p.kvs(f[2:])
+	if err != nil {
+		return err
+	}
+	net := Net{Name: f[1], Pitch: 1, DiffMate: NoNet}
+	if v, ok := kv["pitch"]; ok {
+		if net.Pitch, err = strconv.Atoi(v); err != nil {
+			return p.errf("net pitch: %v", err)
+		}
+	}
+	if v, ok := kv["pins"]; ok && v != "" {
+		for _, s := range strings.Split(v, ",") {
+			ref, err := p.parseRef(strings.TrimSpace(s))
+			if err != nil {
+				return p.errf("net %q: %v", net.Name, err)
+			}
+			net.Pins = append(net.Pins, ref)
+		}
+	}
+	if _, dup := p.nets[net.Name]; dup {
+		return p.errf("net %q: duplicate", net.Name)
+	}
+	p.nets[net.Name] = len(p.c.Nets)
+	p.c.Nets = append(p.c.Nets, net)
+	return nil
+}
+
+func (p *parser) ext(f []string) error {
+	if len(f) < 2 {
+		return p.errf("ext: want name")
+	}
+	kv, err := p.kvs(f[2:])
+	if err != nil {
+		return err
+	}
+	pe := pendingExt{lineNumber: p.line}
+	pe.e.Name = f[1]
+	pe.netName = kv["net"]
+	switch kv["side"] {
+	case "bottom":
+		pe.e.Side = Bottom
+	case "top":
+		pe.e.Side = Top
+	default:
+		return p.errf("ext side %q", kv["side"])
+	}
+	switch kv["dir"] {
+	case "in":
+		pe.e.Dir = In
+	case "out":
+		pe.e.Dir = Out
+	default:
+		return p.errf("ext dir %q", kv["dir"])
+	}
+	if pe.e.Cols, err = parseIntList(kv["cols"]); err != nil {
+		return p.errf("ext cols: %v", err)
+	}
+	for _, k := range []string{"fin", "tf", "td"} {
+		if v, ok := kv[k]; ok {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return p.errf("ext %s: %v", k, err)
+			}
+			switch k {
+			case "fin":
+				pe.e.Fin = x
+			case "tf":
+				pe.e.Tf = x
+			case "td":
+				pe.e.Td = x
+			}
+		}
+	}
+	if _, dup := p.exts[pe.e.Name]; dup {
+		return p.errf("ext %q: duplicate", pe.e.Name)
+	}
+	p.exts[pe.e.Name] = len(p.c.Ext)
+	p.c.Ext = append(p.c.Ext, ExtPin{Name: pe.e.Name, Net: NoNet})
+	p.pendExt = append(p.pendExt, pe)
+	return nil
+}
+
+func (p *parser) constraint(f []string) error {
+	if len(f) < 2 {
+		return p.errf("constraint: want name")
+	}
+	kv, err := p.kvs(f[2:])
+	if err != nil {
+		return err
+	}
+	pc := pendingConstraint{name: f[1], from: kv["from"], to: kv["to"], lineNumber: p.line}
+	if pc.limit, err = strconv.ParseFloat(kv["limit"], 64); err != nil {
+		return p.errf("constraint limit: %v", err)
+	}
+	p.pendCons = append(p.pendCons, pc)
+	return nil
+}
+
+// resolvePending links names that may legally appear before their
+// definitions (diff pairs, ext nets, constraint terminals).
+func (p *parser) resolvePending() error {
+	for _, pe := range p.pendExt {
+		ni, ok := p.nets[pe.netName]
+		if !ok {
+			return fmt.Errorf("line %d: ext %q: unknown net %q", pe.lineNumber, pe.e.Name, pe.netName)
+		}
+		i := p.exts[pe.e.Name]
+		e := pe.e
+		e.Net = ni
+		p.c.Ext[i] = e
+	}
+	for _, d := range p.pendDiff {
+		a, ok1 := p.nets[d[0]]
+		b, ok2 := p.nets[d[1]]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("diff %s %s: unknown net", d[0], d[1])
+		}
+		p.c.Nets[a].DiffMate = b
+		p.c.Nets[b].DiffMate = a
+	}
+	for _, pc := range p.pendCons {
+		cons := Constraint{Name: pc.name, Limit: pc.limit}
+		for _, s := range strings.Split(pc.from, ",") {
+			ref, err := p.parseRef(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("line %d: constraint %q from: %v", pc.lineNumber, pc.name, err)
+			}
+			cons.From = append(cons.From, ref)
+		}
+		for _, s := range strings.Split(pc.to, ",") {
+			ref, err := p.parseRef(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("line %d: constraint %q to: %v", pc.lineNumber, pc.name, err)
+			}
+			cons.To = append(cons.To, ref)
+		}
+		p.c.Cons = append(p.c.Cons, cons)
+	}
+	sort.SliceStable(p.c.Cons, func(i, j int) bool { return p.c.Cons[i].Name < p.c.Cons[j].Name })
+	return nil
+}

@@ -1,0 +1,47 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the circuit parser. Accepted inputs
+// must survive a Format/Parse round trip bit-for-bit; rejected inputs must
+// fail cleanly (no panic). Run with `go test -fuzz=FuzzParse` to explore;
+// the seed corpus runs as a normal test.
+func FuzzParse(f *testing.F) {
+	for _, build := range []func() *Circuit{SampleSmall, SampleDiff, SampleDiffCross} {
+		var buf bytes.Buffer
+		if err := Format(&buf, build()); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add("circuit x\nsize rows=1 cols=4\n")
+	f.Add("celltype T width=1\n  pin A in bottom offs=0 fin=1\n")
+	f.Add("net n pins=\nconstraint p limit=-1 from= to=\n")
+	f.Add(strings.Repeat("cell a T row=0 col=0\n", 3))
+
+	f.Fuzz(func(t *testing.T, text string) {
+		ckt, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var a bytes.Buffer
+		if err := Format(&a, ckt); err != nil {
+			t.Fatalf("accepted circuit fails to format: %v", err)
+		}
+		again, err := Parse(bytes.NewReader(a.Bytes()))
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n%s", err, a.String())
+		}
+		var b bytes.Buffer
+		if err := Format(&b, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("format not a fixed point:\n--- a\n%s\n--- b\n%s", a.String(), b.String())
+		}
+	})
+}

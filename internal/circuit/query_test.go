@@ -1,0 +1,87 @@
+package circuit
+
+import "testing"
+
+func TestDirOfExternalSemantics(t *testing.T) {
+	c := SampleSmall()
+	// IN0 is an input pad: it drives its net, so its direction w.r.t. the
+	// net is Out.
+	if got := c.DirOf(Ext(0)); got != Out {
+		t.Fatalf("DirOf(IN0) = %v, want Out", got)
+	}
+	// OUT0 is an output pad: it loads the net.
+	if got := c.DirOf(Ext(1)); got != In {
+		t.Fatalf("DirOf(OUT0) = %v, want In", got)
+	}
+	// Cell pins keep their library direction.
+	if got := c.DirOf(PinRef{Cell: 0, Pin: 0}); got != In { // b0.A
+		t.Fatalf("DirOf(b0.A) = %v, want In", got)
+	}
+	if got := c.DirOf(PinRef{Cell: 0, Pin: 1}); got != Out { // b0.Z
+		t.Fatalf("DirOf(b0.Z) = %v, want Out", got)
+	}
+}
+
+func TestDriveOfAndFinOf(t *testing.T) {
+	c := SampleSmall()
+	tf, td := c.DriveOf(Ext(0)) // IN0 pad drive
+	if tf != 0.2 || td != 0.15 {
+		t.Fatalf("DriveOf(IN0) = (%v,%v)", tf, td)
+	}
+	tf, td = c.DriveOf(PinRef{Cell: 0, Pin: 1}) // b0.Z
+	if tf != 0.15 || td != 0.12 {
+		t.Fatalf("DriveOf(b0.Z) = (%v,%v)", tf, td)
+	}
+	if got := c.FinOf(Ext(1)); got != 30 { // OUT0 load
+		t.Fatalf("FinOf(OUT0) = %v", got)
+	}
+	if got := c.FinOf(PinRef{Cell: 1, Pin: 0}); got != 22 { // g1.A
+		t.Fatalf("FinOf(g1.A) = %v", got)
+	}
+}
+
+func TestNetOfLinearScanMatchesIndex(t *testing.T) {
+	c := SampleSmall()
+	idx := c.BuildPinNetIndex()
+	for ref, want := range idx {
+		if got := c.NetOf(ref); got != want {
+			t.Fatalf("NetOf(%s) = %d, index says %d", c.PinName(ref), got, want)
+		}
+	}
+	// An unconnected pin returns NoNet: add a floating spare inverter.
+	c.Cells = append(c.Cells, Cell{Name: "spare", Type: SampleINV, Row: 1, Col: 26})
+	if got := c.NetOf(PinRef{Cell: len(c.Cells) - 1, Pin: 0}); got != NoNet {
+		t.Fatalf("NetOf(spare.A) = %d, want NoNet", got)
+	}
+}
+
+func TestPinNameFormats(t *testing.T) {
+	c := SampleSmall()
+	if got := c.PinName(PinRef{Cell: 0, Pin: 1}); got != "b0.Z" {
+		t.Fatalf("PinName = %q", got)
+	}
+	if got := c.PinName(Ext(2)); got != "CKIN" {
+		t.Fatalf("PinName(ext) = %q", got)
+	}
+}
+
+func TestChannelsCount(t *testing.T) {
+	c := SampleSmall()
+	if got := c.Channels(); got != 3 {
+		t.Fatalf("Channels = %d, want 3", got)
+	}
+}
+
+func TestCellTypeHelpers(t *testing.T) {
+	c := SampleSmall()
+	ct := c.CellTypeOf(0)
+	if ct.Name != "BUF" {
+		t.Fatalf("CellTypeOf(b0) = %s", ct.Name)
+	}
+	if ct.PinIndex("Z") != 1 || ct.PinIndex("nope") != -1 {
+		t.Fatal("PinIndex wrong")
+	}
+	if !c.IsFeedCell(2) || c.IsFeedCell(0) {
+		t.Fatal("IsFeedCell wrong")
+	}
+}

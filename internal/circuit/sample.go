@@ -1,0 +1,182 @@
+package circuit
+
+// This file provides small hand-built circuits shared by tests and
+// examples. They are deliberately tiny so their routing can be checked by
+// inspection.
+
+// Library cell-type indices returned by SampleLib, in order.
+const (
+	SampleINV = iota
+	SampleNOR2
+	SampleBUF
+	SampleDFF
+	SampleDRV2
+	SampleRCV2
+	SampleFEED
+)
+
+// SampleLib builds a small ECL-flavoured cell library: inverter, 2-input
+// NOR, a high-drive buffer with two equivalent output taps, a D flip-flop,
+// a differential driver/receiver pair, and a feed cell.
+func SampleLib() []CellType {
+	return []CellType{
+		{
+			Name: "INV", Width: 2,
+			Pins: []PinDef{
+				{Name: "A", Dir: In, Side: Bottom, Offsets: []int{0}, Fin: 20},
+				{Name: "Z", Dir: Out, Side: Top, Offsets: []int{1}, Tf: 0.35, Td: 0.25},
+			},
+			Arcs: []Arc{{From: "A", To: "Z", T0: 90}},
+		},
+		{
+			Name: "NOR2", Width: 3,
+			Pins: []PinDef{
+				{Name: "A", Dir: In, Side: Bottom, Offsets: []int{0}, Fin: 22},
+				{Name: "B", Dir: In, Side: Bottom, Offsets: []int{1}, Fin: 22},
+				{Name: "Z", Dir: Out, Side: Top, Offsets: []int{2}, Tf: 0.30, Td: 0.22},
+			},
+			Arcs: []Arc{{From: "A", To: "Z", T0: 95}, {From: "B", To: "Z", T0: 100}},
+		},
+		{
+			Name: "BUF", Width: 3,
+			Pins: []PinDef{
+				{Name: "A", Dir: In, Side: Bottom, Offsets: []int{0}, Fin: 18},
+				// Two equivalent output taps: the router picks one.
+				{Name: "Z", Dir: Out, Side: Top, Offsets: []int{0, 2}, Tf: 0.15, Td: 0.12},
+			},
+			Arcs: []Arc{{From: "A", To: "Z", T0: 70}},
+		},
+		{
+			Name: "DFF", Width: 5, Sequential: true,
+			Pins: []PinDef{
+				{Name: "D", Dir: In, Side: Bottom, Offsets: []int{0}, Fin: 24},
+				{Name: "CK", Dir: In, Side: Bottom, Offsets: []int{2}, Fin: 12},
+				{Name: "Q", Dir: Out, Side: Top, Offsets: []int{3, 4}, Tf: 0.25, Td: 0.20},
+			},
+		},
+		{
+			Name: "DRV2", Width: 4,
+			Pins: []PinDef{
+				{Name: "A", Dir: In, Side: Bottom, Offsets: []int{0}, Fin: 20},
+				{Name: "Q", Dir: Out, Side: Top, Offsets: []int{2}, Tf: 0.18, Td: 0.15},
+				{Name: "QB", Dir: Out, Side: Top, Offsets: []int{3}, Tf: 0.18, Td: 0.15},
+			},
+			Arcs: []Arc{{From: "A", To: "Q", T0: 85}, {From: "A", To: "QB", T0: 85}},
+		},
+		{
+			Name: "RCV2", Width: 4,
+			Pins: []PinDef{
+				{Name: "IN", Dir: In, Side: Bottom, Offsets: []int{1}, Fin: 25},
+				{Name: "INB", Dir: In, Side: Bottom, Offsets: []int{2}, Fin: 25},
+				{Name: "Z", Dir: Out, Side: Top, Offsets: []int{3}, Tf: 0.28, Td: 0.21},
+			},
+			Arcs: []Arc{{From: "IN", To: "Z", T0: 75}, {From: "INB", To: "Z", T0: 75}},
+		},
+		{Name: "FEED", Width: 1, Feed: true},
+	}
+}
+
+// SampleSmall builds a two-row circuit with a multi-row net, a feedthrough
+// requirement, external terminals with alternative positions, and one path
+// constraint. Layout (columns 0..29):
+//
+//	row 1:      g2(NOR2)@4        i1(INV)@12       f1(FEED)@20
+//	row 0:  b0(BUF)@2   g1(NOR2)@8   f0(FEED)@13  d0(DFF)@16  f2(FEED)@22
+func SampleSmall() *Circuit {
+	c := &Circuit{Name: "sample-small", Tech: DefaultTech, Rows: 2, Cols: 30, Lib: SampleLib()}
+	c.Cells = []Cell{
+		{Name: "b0", Type: SampleBUF, Row: 0, Col: 2},
+		{Name: "g1", Type: SampleNOR2, Row: 0, Col: 8},
+		{Name: "f0", Type: SampleFEED, Row: 0, Col: 13},
+		{Name: "d0", Type: SampleDFF, Row: 0, Col: 16},
+		{Name: "f2", Type: SampleFEED, Row: 0, Col: 22},
+		{Name: "g2", Type: SampleNOR2, Row: 1, Col: 4},
+		{Name: "i1", Type: SampleINV, Row: 1, Col: 12},
+		{Name: "f1", Type: SampleFEED, Row: 1, Col: 20},
+	}
+	ref := func(cellName, pinName string) PinRef {
+		for i := range c.Cells {
+			if c.Cells[i].Name == cellName {
+				pi := c.Lib[c.Cells[i].Type].PinIndex(pinName)
+				return PinRef{Cell: i, Pin: pi}
+			}
+		}
+		panic("unknown cell " + cellName)
+	}
+	c.Nets = []Net{
+		{Name: "nIn", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("b0", "A"), ref("g1", "B")}},
+		{Name: "n1", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("b0", "Z"), ref("g1", "A"), ref("g2", "A")}},
+		{Name: "n2", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("g1", "Z"), ref("g2", "B")}},
+		{Name: "n3", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("g2", "Z"), ref("i1", "A")}},
+		{Name: "n4", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("i1", "Z"), ref("d0", "D")}},
+		{Name: "nq", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("d0", "Q")}},
+		{Name: "nck", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("d0", "CK")}},
+	}
+	c.Ext = []ExtPin{
+		{Name: "IN0", Net: 0, Side: Bottom, Cols: []int{0, 6}, Dir: In, Tf: 0.2, Td: 0.15},
+		{Name: "OUT0", Net: 5, Side: Top, Cols: []int{26, 28}, Dir: Out, Fin: 30},
+		{Name: "CKIN", Net: 6, Side: Bottom, Cols: []int{18}, Dir: In, Tf: 0.1, Td: 0.1},
+	}
+	c.Cons = []Constraint{
+		{Name: "P0", Limit: 900, From: []PinRef{Ext(0)}, To: []PinRef{ref("d0", "D")}},
+	}
+	return c
+}
+
+// SampleDiffCross is SampleDiff with the receiver moved into the driver's
+// row so the differential pair must cross cell row 0 — the pair then needs
+// two adjacent feedthrough slots, exercising §4.1 together with §4.3.
+func SampleDiffCross() *Circuit {
+	c := SampleDiff()
+	c.Name = "sample-diff-cross"
+	for i := range c.Cells {
+		if c.Cells[i].Name == "rc" {
+			c.Cells[i].Row = 0
+			c.Cells[i].Col = 16
+		}
+	}
+	return c
+}
+
+// SampleDiff builds a circuit with one differential-drive pair (DRV2 Q/QB
+// into RCV2 IN/INB across one channel) plus a plain net sharing the
+// channel, exercising §4.1.
+func SampleDiff() *Circuit {
+	c := &Circuit{Name: "sample-diff", Tech: DefaultTech, Rows: 2, Cols: 24, Lib: SampleLib()}
+	c.Cells = []Cell{
+		{Name: "dr", Type: SampleDRV2, Row: 0, Col: 3},
+		{Name: "b0", Type: SampleBUF, Row: 0, Col: 12},
+		{Name: "f0", Type: SampleFEED, Row: 0, Col: 9},
+		{Name: "rc", Type: SampleRCV2, Row: 1, Col: 10},
+		{Name: "i0", Type: SampleINV, Row: 1, Col: 3},
+		{Name: "f1", Type: SampleFEED, Row: 1, Col: 17},
+	}
+	ref := func(cellName, pinName string) PinRef {
+		for i := range c.Cells {
+			if c.Cells[i].Name == cellName {
+				pi := c.Lib[c.Cells[i].Type].PinIndex(pinName)
+				return PinRef{Cell: i, Pin: pi}
+			}
+		}
+		panic("unknown cell " + cellName)
+	}
+	c.Nets = []Net{
+		{Name: "q", Pitch: 1, DiffMate: 1, Pins: []PinRef{ref("dr", "Q"), ref("rc", "IN")}},
+		{Name: "qb", Pitch: 1, DiffMate: 0, Pins: []PinRef{ref("dr", "QB"), ref("rc", "INB")}},
+		{Name: "nin", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("dr", "A")}},
+		{Name: "na", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("b0", "Z"), ref("i0", "A")}},
+		{Name: "nb", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("b0", "A")}},
+		{Name: "nz", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("rc", "Z")}},
+		{Name: "nc", Pitch: 1, DiffMate: NoNet, Pins: []PinRef{ref("i0", "Z")}},
+	}
+	c.Ext = []ExtPin{
+		{Name: "PIN", Net: 2, Side: Bottom, Cols: []int{2, 5}, Dir: In, Tf: 0.2, Td: 0.15},
+		{Name: "PB", Net: 4, Side: Top, Cols: []int{6}, Dir: In, Tf: 0.2, Td: 0.15},
+		{Name: "POUT", Net: 5, Side: Top, Cols: []int{20}, Dir: Out, Fin: 30},
+		{Name: "PC", Net: 6, Side: Top, Cols: []int{8}, Dir: Out, Fin: 25},
+	}
+	c.Cons = []Constraint{
+		{Name: "P0", Limit: 700, From: []PinRef{Ext(0)}, To: []PinRef{Ext(2)}},
+	}
+	return c
+}

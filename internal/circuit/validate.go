@@ -1,0 +1,393 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks structural consistency of the circuit: placement bounds
+// and overlap, pin references, driver uniqueness, differential-pair
+// symmetry, constraint references, and acyclicity of the combinational
+// delay graph. It returns the first problem found.
+func (c *Circuit) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return fmt.Errorf("circuit %q: rows=%d cols=%d must be positive", c.Name, c.Rows, c.Cols)
+	}
+	if err := c.Tech.Validate(); err != nil {
+		return fmt.Errorf("circuit %q: %w", c.Name, err)
+	}
+	if err := c.validateLib(); err != nil {
+		return err
+	}
+	if err := c.validatePlacement(); err != nil {
+		return err
+	}
+	if err := c.validateNets(); err != nil {
+		return err
+	}
+	if err := c.validateExt(); err != nil {
+		return err
+	}
+	if err := c.validateDiffPairs(); err != nil {
+		return err
+	}
+	if err := c.validateConstraints(); err != nil {
+		return err
+	}
+	return c.validateAcyclic()
+}
+
+func (c *Circuit) validateLib() error {
+	seen := map[string]bool{}
+	for i := range c.Lib {
+		ct := &c.Lib[i]
+		if ct.Name == "" {
+			return fmt.Errorf("cell type %d: empty name", i)
+		}
+		if seen[ct.Name] {
+			return fmt.Errorf("cell type %q: duplicate name", ct.Name)
+		}
+		seen[ct.Name] = true
+		if ct.Width <= 0 {
+			return fmt.Errorf("cell type %q: width %d must be positive", ct.Name, ct.Width)
+		}
+		pinNames := map[string]bool{}
+		for j := range ct.Pins {
+			p := &ct.Pins[j]
+			if p.Name == "" {
+				return fmt.Errorf("cell type %q: pin %d has empty name", ct.Name, j)
+			}
+			if pinNames[p.Name] {
+				return fmt.Errorf("cell type %q: duplicate pin %q", ct.Name, p.Name)
+			}
+			pinNames[p.Name] = true
+			if len(p.Offsets) == 0 {
+				return fmt.Errorf("cell type %q pin %q: no positions", ct.Name, p.Name)
+			}
+			for _, off := range p.Offsets {
+				if off < 0 || off >= ct.Width {
+					return fmt.Errorf("cell type %q pin %q: offset %d outside [0,%d)", ct.Name, p.Name, off, ct.Width)
+				}
+			}
+			if p.Dir == Out && p.Td <= 0 {
+				return fmt.Errorf("cell type %q pin %q: output needs Td > 0", ct.Name, p.Name)
+			}
+		}
+		for _, a := range ct.Arcs {
+			fi, ti := ct.PinIndex(a.From), ct.PinIndex(a.To)
+			if fi < 0 || ti < 0 {
+				return fmt.Errorf("cell type %q: arc %s->%s references unknown pin", ct.Name, a.From, a.To)
+			}
+			if ct.Pins[fi].Dir != In || ct.Pins[ti].Dir != Out {
+				return fmt.Errorf("cell type %q: arc %s->%s must go input to output", ct.Name, a.From, a.To)
+			}
+			if ct.Sequential {
+				return fmt.Errorf("cell type %q: sequential types carry no arcs", ct.Name)
+			}
+		}
+		if ct.Feed && len(ct.Pins) != 0 {
+			return fmt.Errorf("cell type %q: feed cells have no pins", ct.Name)
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) validatePlacement() error {
+	type span struct{ lo, hi, cell int }
+	rows := make([][]span, c.Rows)
+	names := map[string]bool{}
+	for i := range c.Cells {
+		cell := &c.Cells[i]
+		if cell.Name == "" {
+			return fmt.Errorf("cell %d: empty name", i)
+		}
+		if names[cell.Name] {
+			return fmt.Errorf("cell %q: duplicate name", cell.Name)
+		}
+		names[cell.Name] = true
+		if cell.Type < 0 || cell.Type >= len(c.Lib) {
+			return fmt.Errorf("cell %q: type index %d out of range", cell.Name, cell.Type)
+		}
+		w := c.Lib[cell.Type].Width
+		if cell.Row < 0 || cell.Row >= c.Rows {
+			return fmt.Errorf("cell %q: row %d outside [0,%d)", cell.Name, cell.Row, c.Rows)
+		}
+		if cell.Col < 0 || cell.Col+w > c.Cols {
+			return fmt.Errorf("cell %q: columns [%d,%d) outside [0,%d)", cell.Name, cell.Col, cell.Col+w, c.Cols)
+		}
+		rows[cell.Row] = append(rows[cell.Row], span{cell.Col, cell.Col + w, i})
+	}
+	for r, spans := range rows {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].lo < spans[i-1].hi {
+				return fmt.Errorf("row %d: cells %q and %q overlap",
+					r, c.Cells[spans[i-1].cell].Name, c.Cells[spans[i].cell].Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) validateNets() error {
+	names := map[string]bool{}
+	for n := range c.Nets {
+		net := &c.Nets[n]
+		if net.Name == "" {
+			return fmt.Errorf("net %d: empty name", n)
+		}
+		if names[net.Name] {
+			return fmt.Errorf("net %q: duplicate name", net.Name)
+		}
+		names[net.Name] = true
+		if net.Pitch < 1 {
+			return fmt.Errorf("net %q: pitch %d must be >= 1", net.Name, net.Pitch)
+		}
+		outCount := 0
+		seen := map[PinRef]bool{}
+		for _, p := range net.Pins {
+			if p.IsExt() {
+				return fmt.Errorf("net %q: external terminals attach via ext declarations, not net pins", net.Name)
+			}
+			if p.Cell < 0 || p.Cell >= len(c.Cells) {
+				return fmt.Errorf("net %q: cell index %d out of range", net.Name, p.Cell)
+			}
+			ct := c.CellTypeOf(p.Cell)
+			if p.Pin < 0 || p.Pin >= len(ct.Pins) {
+				return fmt.Errorf("net %q: pin index %d out of range for cell %q", net.Name, p.Pin, c.Cells[p.Cell].Name)
+			}
+			if seen[p] {
+				return fmt.Errorf("net %q: terminal %s listed twice", net.Name, c.PinName(p))
+			}
+			seen[p] = true
+			if ct.Pins[p.Pin].Dir == Out {
+				outCount++
+			}
+		}
+		hasPad := false
+		for i := range c.Ext {
+			if c.Ext[i].Net == n && c.Ext[i].Dir == In {
+				hasPad = true
+			}
+		}
+		if outCount > 1 {
+			return fmt.Errorf("net %q: %d driving pins", net.Name, outCount)
+		}
+		if outCount == 1 && hasPad {
+			return fmt.Errorf("net %q: both an output pin and an input pad drive it", net.Name)
+		}
+		if outCount == 0 && !hasPad {
+			return fmt.Errorf("net %q: no driver", net.Name)
+		}
+		if len(c.Terminals(n)) < 2 {
+			return fmt.Errorf("net %q: fewer than two terminals", net.Name)
+		}
+	}
+	// Each cell pin may belong to at most one net.
+	owner := map[PinRef]string{}
+	for n := range c.Nets {
+		for _, p := range c.Nets[n].Pins {
+			if prev, ok := owner[p]; ok {
+				return fmt.Errorf("terminal %s on both nets %q and %q", c.PinName(p), prev, c.Nets[n].Name)
+			}
+			owner[p] = c.Nets[n].Name
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) validateExt() error {
+	names := map[string]bool{}
+	for i := range c.Ext {
+		e := &c.Ext[i]
+		if e.Name == "" {
+			return fmt.Errorf("external terminal %d: empty name", i)
+		}
+		if names[e.Name] {
+			return fmt.Errorf("external terminal %q: duplicate name", e.Name)
+		}
+		names[e.Name] = true
+		if e.Net < 0 || e.Net >= len(c.Nets) {
+			return fmt.Errorf("external terminal %q: net index %d out of range", e.Name, e.Net)
+		}
+		if len(e.Cols) == 0 {
+			return fmt.Errorf("external terminal %q: no candidate positions", e.Name)
+		}
+		for _, col := range e.Cols {
+			if col < 0 || col >= c.Cols {
+				return fmt.Errorf("external terminal %q: column %d outside [0,%d)", e.Name, col, c.Cols)
+			}
+		}
+		if e.Dir == In && e.Td <= 0 {
+			return fmt.Errorf("external terminal %q: input pad needs Td > 0", e.Name)
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) validateDiffPairs() error {
+	for n := range c.Nets {
+		mate := c.Nets[n].DiffMate
+		if mate == NoNet {
+			continue
+		}
+		if mate < 0 || mate >= len(c.Nets) {
+			return fmt.Errorf("net %q: diff mate index %d out of range", c.Nets[n].Name, mate)
+		}
+		if c.Nets[mate].DiffMate != n {
+			return fmt.Errorf("net %q: diff pairing with %q is not mutual", c.Nets[n].Name, c.Nets[mate].Name)
+		}
+		if mate == n {
+			return fmt.Errorf("net %q: paired with itself", c.Nets[n].Name)
+		}
+		if c.Nets[n].Pitch != 1 {
+			return fmt.Errorf("net %q: differential pairs must be single-pitch (the pair together behaves as a 2-pitch wire)", c.Nets[n].Name)
+		}
+		if n < mate {
+			if err := c.checkDiffParallel(n, mate); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkDiffParallel verifies the §4.1 homogeneity precondition: the two
+// nets connect the same cells pin-for-pin with a constant column shift, so
+// their routing graphs are isomorphic with the same relative positions.
+func (c *Circuit) checkDiffParallel(a, b int) error {
+	ta, tb := c.Terminals(a), c.Terminals(b)
+	if len(ta) != len(tb) {
+		return fmt.Errorf("diff pair %q/%q: terminal counts differ (%d vs %d)",
+			c.Nets[a].Name, c.Nets[b].Name, len(ta), len(tb))
+	}
+	shift := 0
+	for i := range ta {
+		pa, pb := ta[i], tb[i]
+		if pa.IsExt() != pb.IsExt() {
+			return fmt.Errorf("diff pair %q/%q: terminal %d mixes external and cell pins",
+				c.Nets[a].Name, c.Nets[b].Name, i)
+		}
+		if !pa.IsExt() && pa.Cell != pb.Cell {
+			return fmt.Errorf("diff pair %q/%q: terminal %d on different cells",
+				c.Nets[a].Name, c.Nets[b].Name, i)
+		}
+		posA, posB := c.PositionsOf(pa), c.PositionsOf(pb)
+		if len(posA) != len(posB) {
+			return fmt.Errorf("diff pair %q/%q: terminal %d position counts differ",
+				c.Nets[a].Name, c.Nets[b].Name, i)
+		}
+		for j := range posA {
+			if posA[j].Channel != posB[j].Channel {
+				return fmt.Errorf("diff pair %q/%q: terminal %d positions in different channels",
+					c.Nets[a].Name, c.Nets[b].Name, i)
+			}
+			d := posB[j].Col - posA[j].Col
+			if i == 0 && j == 0 {
+				shift = d
+			} else if d != shift {
+				return fmt.Errorf("diff pair %q/%q: column shift not constant (%d vs %d)",
+					c.Nets[a].Name, c.Nets[b].Name, shift, d)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) validateConstraints() error {
+	names := map[string]bool{}
+	idx := c.BuildPinNetIndex()
+	for i := range c.Cons {
+		p := &c.Cons[i]
+		if p.Name == "" {
+			return fmt.Errorf("constraint %d: empty name", i)
+		}
+		if names[p.Name] {
+			return fmt.Errorf("constraint %q: duplicate name", p.Name)
+		}
+		names[p.Name] = true
+		if p.Limit <= 0 {
+			return fmt.Errorf("constraint %q: limit %.1f must be positive", p.Name, p.Limit)
+		}
+		if len(p.From) == 0 || len(p.To) == 0 {
+			return fmt.Errorf("constraint %q: needs at least one source and one sink", p.Name)
+		}
+		for _, r := range append(append([]PinRef{}, p.From...), p.To...) {
+			if r.IsExt() {
+				if r.Pin < 0 || r.Pin >= len(c.Ext) {
+					return fmt.Errorf("constraint %q: external index %d out of range", p.Name, r.Pin)
+				}
+				continue
+			}
+			if r.Cell < 0 || r.Cell >= len(c.Cells) || r.Pin < 0 || r.Pin >= len(c.CellTypeOf(r.Cell).Pins) {
+				return fmt.Errorf("constraint %q: bad terminal reference %+v", p.Name, r)
+			}
+			if _, ok := idx[r]; !ok {
+				return fmt.Errorf("constraint %q: terminal %s is unconnected", p.Name, c.PinName(r))
+			}
+		}
+	}
+	return nil
+}
+
+// validateAcyclic checks that the combinational delay graph (cell arcs plus
+// driver→fanout net arcs) is a DAG, a precondition for longest-path timing.
+func (c *Circuit) validateAcyclic() error {
+	// Vertices: cells (collapsed). An edge cellA -> cellB exists when some
+	// combinational output of A drives an input of B that has an arc to an
+	// output. Collapsing per cell is conservative and cheap; sequential
+	// cells cut paths because they have no arcs.
+	adj := make([][]int, len(c.Cells))
+	for n := range c.Nets {
+		drv, err := c.Driver(n)
+		if err != nil {
+			return err
+		}
+		if drv.IsExt() {
+			continue
+		}
+		if c.Lib[c.Cells[drv.Cell].Type].Sequential {
+			continue
+		}
+		for _, t := range c.Fanouts(n) {
+			if t.IsExt() {
+				continue
+			}
+			if c.Lib[c.Cells[t.Cell].Type].Sequential {
+				continue
+			}
+			adj[drv.Cell] = append(adj[drv.Cell], t.Cell)
+		}
+	}
+	state := make([]int, len(c.Cells)) // 0 new, 1 active, 2 done
+	var stack []int
+	for s := range adj {
+		if state[s] != 0 {
+			continue
+		}
+		// Iterative DFS with an explicit edge cursor.
+		type frame struct{ v, i int }
+		fs := []frame{{s, 0}}
+		state[s] = 1
+		stack = append(stack[:0], s)
+		for len(fs) > 0 {
+			f := &fs[len(fs)-1]
+			if f.i < len(adj[f.v]) {
+				w := adj[f.v][f.i]
+				f.i++
+				switch state[w] {
+				case 0:
+					state[w] = 1
+					fs = append(fs, frame{w, 0})
+					stack = append(stack, w)
+				case 1:
+					return fmt.Errorf("combinational cycle through cell %q", c.Cells[w].Name)
+				}
+				continue
+			}
+			state[f.v] = 2
+			fs = fs[:len(fs)-1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package core implements the timing- and area-driven global router of
+// Harada & Kitazawa, "A Global Router Optimizing Timing and Area for
+// High-Speed Bipolar LSI's" (DAC 1994).
+//
+// The router follows the paper's Fig. 2 outline:
+//
+//	01  external-terminal & feedthrough assignment      (package feed)
+//	02  routing-graph initialization Gr(n)              (package rgraph)
+//	03  delay-constraint-graph initialization Gd(P)     (package dgraph)
+//	04-07  initial routing: concurrent edge deletion with the §3.4
+//	       heuristics over delay criteria (Cd, Gl, LD from the local
+//	       margin LM) and channel-density criteria (C_m, NC_m, C_M, NC_M)
+//	08  constraint-violation recovery (rip-up & reroute)
+//	09  delay-improvement loop
+//	10  area-improvement loop (density criteria promoted)
+//
+// Bipolar-specific features (§4): differential pairs are deleted in
+// lock-step on isomorphic graphs, multi-pitch nets carry pitch-weighted
+// density and occupy adjacent feedthrough slots, and feed-cell insertion
+// widens the chip when feedthroughs run out.
+package core
+
+import "io"
+
+// DelayModel selects how net delays are derived from routed trees.
+type DelayModel int
+
+const (
+	// Lumped is the paper's capacitance model: every sink of a net sees
+	// (Σ Fin)·Tf + CL·Td with CL from the total tree length.
+	Lumped DelayModel = iota
+	// Elmore is the §2.1 RC extension: per-sink Elmore delays over the
+	// tentative tree plus the lumped driver terms.
+	Elmore
+)
+
+// Config controls a routing run.
+type Config struct {
+	// UseConstraints enables the timing criteria. With it false the
+	// router is the paper's "without constraints" baseline: pure
+	// area-driven edge selection (delays are still reported).
+	UseConstraints bool
+
+	// DelayModel picks Lumped (default, the paper) or Elmore.
+	DelayModel DelayModel
+	// RPerUm is the wire resistance in kΩ/µm for the Elmore model.
+	RPerUm float64
+
+	// AreaFirst makes every phase use the area-phase criteria ordering
+	// (density before Gl/LD). The paper uses it only in phase 10; this is
+	// ablation A1.
+	AreaFirst bool
+
+	// SkipImprovement disables phases 08-10 (ablation A5).
+	SkipImprovement bool
+	// MaxPasses bounds each improvement phase's sweeps. 0 means the
+	// default of 3.
+	MaxPasses int
+
+	// NoTentativeCache disables the d'(e) shortcut that reuses the
+	// current length for edges outside the tentative tree (ablation A2;
+	// the shortcut is exact, so results must not change).
+	NoTentativeCache bool
+
+	// ArbitraryNetOrder skips the static-slack ordering for feedthrough
+	// assignment and uses net index order (ablation A3). Equivalent to
+	// Order = OrderIndex.
+	ArbitraryNetOrder bool
+
+	// Order picks the feedthrough-assignment net ordering. The zero value
+	// is the paper's ascending static slack (which degrades to index
+	// order when constraints are off or absent).
+	Order OrderStrategy
+
+	// NoFeedReroute disables feedthrough re-assignment during the rip-up
+	// and reroute phases (ablation A6). By default a net whose plain
+	// reroute is rejected is retried once with its feedthroughs moved to
+	// the free slots nearest its terminal center.
+	NoFeedReroute bool
+
+	// Trace, when non-nil, receives a phase-by-phase log (Fig. 2 trace).
+	Trace io.Writer
+}
+
+// OrderStrategy selects the net order for feedthrough assignment (§3.1).
+type OrderStrategy int
+
+const (
+	// OrderSlack is the paper's ascending static slack.
+	OrderSlack OrderStrategy = iota
+	// OrderIndex takes nets in index order.
+	OrderIndex
+	// OrderHPWL assigns the longest half-perimeter nets first.
+	OrderHPWL
+	// OrderFanout assigns the highest-fanout nets first.
+	OrderFanout
+)
+
+func (s OrderStrategy) String() string {
+	switch s {
+	case OrderSlack:
+		return "slack"
+	case OrderIndex:
+		return "index"
+	case OrderHPWL:
+		return "hpwl"
+	case OrderFanout:
+		return "fanout"
+	}
+	return "?"
+}
+
+func (c Config) maxPasses() int {
+	if c.MaxPasses <= 0 {
+		return 3
+	}
+	return c.MaxPasses
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/rgraph"
+)
+
+// delayCrit caches the §3.2 delay criteria of one candidate edge: the
+// critical count Cd (eq. 3), the global delay penalty Gl (eq. 4) and the
+// local delay increase LD.
+type delayCrit struct {
+	cd       int
+	gl       float64
+	ld       float64
+	staEpoch int
+	netEpoch int
+	valid    bool
+}
+
+type candidate struct {
+	net, edge int
+}
+
+// dPrime returns d'(e): the tentative-tree length of the net if edge e
+// were deleted (§3.2). Edges outside the current tentative tree cannot
+// change any shortest path, so the current length is exact for them — the
+// A2 ablation flag disables that shortcut to demonstrate it.
+func (r *router) dPrime(n, e int) float64 {
+	if !r.cfg.NoTentativeCache && !r.trees[n].InTree[e] {
+		return r.wl[n]
+	}
+	if r.dpCache[n] == nil {
+		r.dpCache[n] = make(map[int]float64)
+	}
+	if v, ok := r.dpCache[n][e]; ok {
+		return v
+	}
+	l, err := r.graphs[n].LengthExcluding(e)
+	if err != nil {
+		// e turned out to be a bridge (stale candidate); treat as
+		// unchanged — selection will skip it next round.
+		l = r.wl[n]
+	}
+	r.dpCache[n][e] = l
+	return l
+}
+
+// affectedNets lists the nets whose wiring changes when (n, e) is deleted:
+// the net itself and its differential mate.
+func (r *router) affectedNets(n int) []int {
+	if m := r.pairOf[n]; m != circuit.NoNet {
+		return []int{n, m}
+	}
+	return []int{n}
+}
+
+// delayCriteria computes (with caching) the delay criteria of candidate
+// (n, e) against the current timing state.
+func (r *router) delayCriteria(n, e int) delayCrit {
+	if r.dcCache[n] == nil {
+		r.dcCache[n] = make([]delayCrit, len(r.graphs[n].Edges))
+	}
+	c := &r.dcCache[n][e]
+	if c.valid && c.staEpoch == r.staEpoch && c.netEpoch == r.netEpoch[n] {
+		return *c
+	}
+	out := delayCrit{staEpoch: r.staEpoch, netEpoch: r.netEpoch[n], valid: true}
+
+	nets := r.affectedNets(n)
+	// New and current lumped arc delays per affected net. The LM criteria
+	// use the lumped form even under the Elmore model; the paper notes
+	// the heuristics are independent of the delay-model choice.
+	type netDelta struct {
+		net        int
+		dNew, dCur float64
+	}
+	deltas := make([]netDelta, 0, 2)
+	for _, a := range nets {
+		dNewLen := r.dPrime(a, e)
+		deltas = append(deltas, netDelta{
+			net:  a,
+			dNew: r.dg.LumpedArcDelay(a, dNewLen),
+			dCur: r.dg.LumpedArcDelay(a, r.wl[a]),
+		})
+	}
+	// P(e): constraints whose Gd(P) contains arcs of any affected net.
+	seen := map[int]bool{}
+	for _, a := range nets {
+		for _, p := range r.dg.ConsOfNet(a) {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			margin := r.tm.Cons[p].Margin
+			tau := r.ckt.Cons[p].Limit
+			var worst float64
+			for _, d := range deltas {
+				if dd := r.tm.DeltaIfNetDelay(p, d.net, d.dNew); dd > worst {
+					worst = dd
+				}
+			}
+			lm := margin - worst // eq. 2
+			if lm <= 0 {
+				out.cd++
+			}
+			out.gl += pen(lm, tau) - pen(margin, tau)
+			for _, d := range deltas {
+				if inc := d.dNew - d.dCur; inc > 0 {
+					out.ld += inc * float64(r.arcsInGd(p, d.net))
+				}
+			}
+		}
+	}
+	*c = out
+	return out
+}
+
+// arcsInGd counts net arcs of a net inside Gd(P).
+func (r *router) arcsInGd(p, n int) int {
+	count := 0
+	for _, a := range r.dg.NetArcs(n) {
+		if r.dg.InGd(p, a) {
+			count++
+		}
+	}
+	return count
+}
+
+// selectEdge scans the deletion candidates (over all nets, or only the
+// given ones) and returns the edge the §3.4 heuristics choose. ok is false
+// when no non-bridge edge remains.
+func (r *router) selectEdge(restrict []int, areaOrder bool) (candidate, bool) {
+	nets := restrict
+	if nets == nil {
+		nets = allNets(len(r.graphs))
+	}
+	best := candidate{net: -1}
+	for _, n := range nets {
+		for _, e := range r.graphs[n].NonBridges() {
+			c := candidate{net: n, edge: e}
+			if best.net == -1 || r.less(c, best, areaOrder) {
+				best = c
+			}
+		}
+	}
+	return best, best.net != -1
+}
+
+const fEps = 1e-9
+
+// less reports whether candidate a should be deleted in preference to b.
+//
+// Initial/delay ordering (§3.4): Cd, Gl, LD, then the five density
+// conditions, then the longer edge. Area ordering (§3.5): Cd, density
+// conditions, Gl, LD, longer edge. Without constraints only the density
+// conditions apply. Ties end at a deterministic index order.
+func (r *router) less(a, b candidate, areaOrder bool) bool {
+	if r.cfg.UseConstraints {
+		da := r.delayCriteria(a.net, a.edge)
+		db := r.delayCriteria(b.net, b.edge)
+		if da.cd != db.cd {
+			return da.cd < db.cd
+		}
+		if !areaOrder {
+			if diff := da.gl - db.gl; diff < -fEps || diff > fEps {
+				return diff < 0
+			}
+			if diff := da.ld - db.ld; diff < -fEps || diff > fEps {
+				return diff < 0
+			}
+		}
+		if c := r.densCompare(a, b); c != 0 {
+			return c < 0
+		}
+		if areaOrder {
+			if diff := da.gl - db.gl; diff < -fEps || diff > fEps {
+				return diff < 0
+			}
+			if diff := da.ld - db.ld; diff < -fEps || diff > fEps {
+				return diff < 0
+			}
+		}
+	} else if c := r.densCompare(a, b); c != 0 {
+		return c < 0
+	}
+	// Longer edge preferred for deletion.
+	ea, eb := r.edgeOf(a), r.edgeOf(b)
+	if diff := ea.Len - eb.Len; diff < -fEps || diff > fEps {
+		return diff > 0
+	}
+	if a.net != b.net {
+		return a.net < b.net
+	}
+	return a.edge < b.edge
+}
+
+func (r *router) edgeOf(c candidate) *rgraph.Edge {
+	return &r.graphs[c.net].Edges[c.edge]
+}
+
+// densCompare applies the five §3.4 density conditions; negative means a
+// wins, positive means b wins, zero is a tie.
+func (r *router) densCompare(a, b candidate) int {
+	ea, eb := r.edgeOf(a), r.edgeOf(b)
+	// Condition 1: prefer a trunk edge over any other kind — deleting a
+	// trunk directly reduces channel density.
+	ta, tb := ea.Kind == rgraph.ETrunk, eb.Kind == rgraph.ETrunk
+	if ta != tb {
+		if ta {
+			return -1
+		}
+		return 1
+	}
+	ca := r.dens.Channel(ea.Ch)
+	cb := r.dens.Channel(eb.Ch)
+	sa := r.dens.Edge(ea.Ch, ea.X1, ea.X2)
+	sb := r.dens.Edge(eb.Ch, eb.X1, eb.X2)
+	// Condition 2: F_m = C_m(c) − D_m(e), smaller first (do not grow the
+	// unavoidable density C_m).
+	if fa, fb := ca.Cm-sa.Dm, cb.Cm-sb.Dm; fa != fb {
+		if fa < fb {
+			return -1
+		}
+		return 1
+	}
+	// Condition 3: N_m = NC_m(c) − ND_m(e), smaller first.
+	if na, nb := ca.NCm-sa.NDm, cb.NCm-sb.NDm; na != nb {
+		if na < nb {
+			return -1
+		}
+		return 1
+	}
+	// Condition 4: C_M(c) − D_M(e), smaller first (greedy reduction of
+	// the worst channel).
+	if fa, fb := ca.CM-sa.DM, cb.CM-sb.DM; fa != fb {
+		if fa < fb {
+			return -1
+		}
+		return 1
+	}
+	// Condition 5: NC_M(c) − ND_M(e), smaller first.
+	if na, nb := ca.NCM-sa.NDM, cb.NCM-sb.NDM; na != nb {
+		if na < nb {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}

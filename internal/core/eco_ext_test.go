@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/verify"
+)
+
+func routeDataset(t *testing.T, name string, cfg core.Config) *core.Result {
+	t.Helper()
+	p, err := gen.Dataset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := gen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Route(ckt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func snapshotAlive(res *core.Result) [][]bool {
+	out := make([][]bool, len(res.Graphs))
+	for n, g := range res.Graphs {
+		out[n] = make([]bool, len(g.Edges))
+		for e := range g.Edges {
+			out[n][e] = g.Edges[e].Alive
+		}
+	}
+	return out
+}
+
+func TestReOptimizeLeavesPrevUntouched(t *testing.T) {
+	prev := routeDataset(t, "C1P1", core.Config{UseConstraints: true})
+	before := snapshotAlive(prev)
+	prevDelay := prev.Delay
+	next, err := core.ReOptimize(prev, core.Config{UseConstraints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := snapshotAlive(prev)
+	for n := range before {
+		for e := range before[n] {
+			if before[n][e] != after[n][e] {
+				t.Fatalf("ReOptimize mutated prev (net %d edge %d)", n, e)
+			}
+		}
+	}
+	if prev.Delay != prevDelay {
+		t.Fatal("prev delay changed")
+	}
+	if v := verify.Routing(next); !v.OK() {
+		t.Fatalf("re-optimized routing invalid: %v", v.Problems[0])
+	}
+	// Starting from an already-optimized routing, re-optimization must
+	// not make things worse.
+	if next.Delay > prev.Delay+1e-6 {
+		t.Fatalf("re-optimization worsened delay: %v -> %v", prev.Delay, next.Delay)
+	}
+}
+
+// TestReOptimizeRecoversBadOrder routes with a deliberately bad net
+// ordering, then re-optimizes: the ECO pass (rip-up with feed
+// re-assignment) must claw back a good share of the lost delay.
+func TestReOptimizeRecoversBadOrder(t *testing.T) {
+	bad := routeDataset(t, "C1P2", core.Config{UseConstraints: true, ArbitraryNetOrder: true})
+	good := routeDataset(t, "C1P2", core.Config{UseConstraints: true})
+	eco, err := core.ReOptimize(bad, core.Config{UseConstraints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.Routing(eco); !v.OK() {
+		t.Fatalf("%v", v.Problems[0])
+	}
+	if eco.Delay > bad.Delay+1e-6 {
+		t.Fatalf("ECO worsened delay: %v -> %v", bad.Delay, eco.Delay)
+	}
+	t.Logf("delays: bad order %.1f, after ECO %.1f, slack-ordered %.1f ps",
+		bad.Delay, eco.Delay, good.Delay)
+	// The ECO pass must actually do something on this fixture.
+	if eco.Delay >= bad.Delay-1e-6 {
+		t.Error("ECO pass recovered nothing on the bad-order routing")
+	}
+	accepted := 0
+	for _, ps := range eco.Phases {
+		accepted += ps.Accepted
+	}
+	if accepted == 0 {
+		t.Error("no accepted reroutes recorded")
+	}
+}
+
+// TestReOptimizeAfterTightening edits a constraint limit and re-optimizes:
+// the ECO phases see the new limit.
+func TestReOptimizeAfterTightening(t *testing.T) {
+	prev := routeDataset(t, "C1P1", core.Config{UseConstraints: true})
+	// Tighten every met constraint to sit just above its current delay:
+	// margins shrink but stay non-negative; the ECO run must not create
+	// violations.
+	for p := range prev.Ckt.Cons {
+		worst := prev.Timing.Cons[p].Worst
+		if prev.Timing.Cons[p].Margin > 0 {
+			prev.Ckt.Cons[p].Limit = worst * 1.01
+		}
+	}
+	eco, err := core.ReOptimize(prev, core.Config{UseConstraints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.Routing(eco); !v.OK() {
+		t.Fatalf("%v", v.Problems[0])
+	}
+	// Violations under the *new* limits must not exceed the count the old
+	// routing would have under those same limits.
+	oldViol := 0
+	for p := range eco.Timing.Cons {
+		if prev.Timing.Cons[p].Worst > prev.Ckt.Cons[p].Limit {
+			oldViol++
+		}
+	}
+	if eco.Violations() > oldViol {
+		t.Fatalf("ECO added violations: %d vs %d", eco.Violations(), oldViol)
+	}
+}
+
+func TestCloneGraphIndependence(t *testing.T) {
+	prev := routeDataset(t, "C1P1", core.Config{UseConstraints: true})
+	g := prev.Graphs[0]
+	c := g.Clone()
+	// Mutating the clone must not touch the original.
+	for e := range c.Edges {
+		if c.Edges[e].Alive {
+			c.Edges[e].Alive = false
+			if !g.Edges[e].Alive {
+				t.Fatal("clone shares edge storage")
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/rgraph"
+)
+
+// recount rebuilds the density state from the router's current graphs.
+func (r *router) recount() *density.State {
+	d := density.New(r.ckt.Channels(), r.ckt.Cols)
+	for _, g := range r.graphs {
+		for _, e := range g.AliveEdges() {
+			ed := &g.Edges[e]
+			if ed.Kind != rgraph.ETrunk {
+				continue
+			}
+			d.Add(ed.Ch, ed.X1, ed.X2, g.Pitch)
+			if ed.Bridge {
+				d.AddBridge(ed.Ch, ed.X1, ed.X2, g.Pitch)
+			}
+		}
+	}
+	return d
+}
+
+// TestDensityConsistentAfterEveryDeletion drives the router step by step
+// (random and heuristic selections interleaved) and compares the
+// incremental density state against a full recount after every single
+// deletion — the strongest incremental-bookkeeping check.
+func TestDensityConsistentAfterEveryDeletion(t *testing.T) {
+	for _, build := range []func() *circuit.Circuit{circuit.SampleSmall, circuit.SampleDiffCross} {
+		r := newTestRouter(t, build(), Config{UseConstraints: true})
+		rng := rand.New(rand.NewSource(61))
+		step := 0
+		for {
+			var cand candidate
+			var ok bool
+			if step%2 == 0 {
+				cand, ok = r.selectEdge(nil, false)
+			} else {
+				// Random legal candidate.
+				var all []candidate
+				for n, g := range r.graphs {
+					for _, e := range g.NonBridges() {
+						all = append(all, candidate{n, e})
+					}
+				}
+				if len(all) == 0 {
+					ok = false
+				} else {
+					cand, ok = all[rng.Intn(len(all))], true
+				}
+			}
+			if !ok {
+				break
+			}
+			if err := r.deleteEdge(cand.net, cand.edge); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			want := r.recount()
+			for ch := 0; ch < r.ckt.Channels(); ch++ {
+				if got, w := r.dens.Channel(ch), want.Channel(ch); got != w {
+					t.Fatalf("step %d channel %d: incremental %+v != recount %+v", step, ch, got, w)
+				}
+			}
+			// Wire lengths track the tentative trees exactly.
+			for n := range r.graphs {
+				tr, err := r.graphs[n].Tentative()
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if diff := tr.Length - r.wl[n]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("step %d net %d: cached length %v, fresh %v", step, n, r.wl[n], tr.Length)
+				}
+			}
+			step++
+		}
+		if step == 0 {
+			t.Fatal("no deletions exercised")
+		}
+	}
+}
+
+// TestLongerEdgeTieBreak: with identical delay and density criteria the
+// longer edge is selected (§3.4's final condition).
+func TestLongerEdgeTieBreak(t *testing.T) {
+	r := newTestRouter(t, circuit.SampleSmall(), Config{UseConstraints: false})
+	// Find two trunk candidates in the same channel with equal density
+	// context but different lengths — fall back to synthetic comparison.
+	var cands []candidate
+	for n, g := range r.graphs {
+		for _, e := range g.NonBridges() {
+			cands = append(cands, candidate{n, e})
+		}
+	}
+	for i := 0; i < len(cands); i++ {
+		for j := 0; j < len(cands); j++ {
+			if i == j {
+				continue
+			}
+			a, b := cands[i], cands[j]
+			if r.densCompare(a, b) != 0 {
+				continue
+			}
+			la, lb := r.edgeOf(a).Len, r.edgeOf(b).Len
+			if la <= lb+fEps {
+				continue
+			}
+			// a is strictly longer with tied density: a must win.
+			if !r.less(a, b, false) {
+				t.Fatalf("longer edge (%v, %.1fµm) lost to (%v, %.1fµm)", a, la, b, lb)
+			}
+			if r.less(b, a, false) {
+				t.Fatal("tie-break not antisymmetric")
+			}
+			return
+		}
+	}
+	t.Skip("no density-tied candidate pair in fixture")
+}

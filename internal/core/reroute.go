@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/feed"
+	"repro/internal/rgraph"
+)
+
+// objective summarizes the global state the improvement phases optimize.
+type objective struct {
+	violations int
+	penalty    float64
+	tracks     int
+	wirelen    float64
+}
+
+func (r *router) objective() objective {
+	o := objective{
+		penalty: r.penaltyTotal(),
+		tracks:  r.dens.TotalTracks(),
+	}
+	for p := range r.tm.Cons {
+		if r.tm.Cons[p].Margin < 0 {
+			o.violations++
+		}
+	}
+	for _, l := range r.wl {
+		o.wirelen += l
+	}
+	return o
+}
+
+// acceptDelay is the acceptance rule of the violation-recovery and
+// delay-improvement phases: fewer violations, or the same violations with
+// a lower total penalty.
+func (r *router) acceptDelay(before, after objective) bool {
+	if after.violations != before.violations {
+		return after.violations < before.violations
+	}
+	return after.penalty < before.penalty-fEps
+}
+
+// acceptArea is the acceptance rule of the area-improvement phase: fewer
+// channel tracks (or the same with less wire) without making timing worse.
+func (r *router) acceptArea(before, after objective) bool {
+	if r.cfg.UseConstraints {
+		if after.violations > before.violations {
+			return false
+		}
+		if after.penalty > before.penalty+fEps {
+			return false
+		}
+	}
+	if after.tracks != before.tracks {
+		return after.tracks < before.tracks
+	}
+	return after.wirelen < before.wirelen-fEps
+}
+
+// rerouteNet rips up one net (and its differential mate), rebuilds its
+// routing graph, reroutes it with the current global criteria, and keeps
+// the result only if accept approves the before/after objectives (§3.5).
+// If the plain reroute is rejected, it retries once with the net's
+// feedthroughs re-assigned to the free slots nearest its terminal center
+// (unless NoFeedReroute).
+func (r *router) rerouteNet(n int, areaOrder bool, accept func(before, after objective) bool) (bool, error) {
+	nets := r.affectedNets(n)
+	improved, err := r.tryReroute(nets, nil, areaOrder, accept)
+	if err != nil || improved {
+		return improved, err
+	}
+	if r.cfg.NoFeedReroute {
+		return false, nil
+	}
+	alt := r.reallocFeeds(nets)
+	if alt == nil {
+		return false, nil
+	}
+	return r.tryReroute(nets, alt, areaOrder, accept)
+}
+
+// tryReroute performs one rip-up/rebuild/reroute attempt, optionally with
+// alternative feedthroughs, reverting everything if accept rejects it.
+func (r *router) tryReroute(nets []int, altFeeds map[int][]rgraph.FeedPos, areaOrder bool, accept func(before, after objective) bool) (bool, error) {
+	before := r.objective()
+
+	oldGraphs := make(map[int]*rgraph.Graph, len(nets))
+	oldFeeds := make(map[int][]rgraph.FeedPos, len(nets))
+	for _, nn := range nets {
+		oldGraphs[nn] = r.graphs[nn]
+		oldFeeds[nn] = r.feeds[nn]
+		r.densRemoveGraph(nn, r.graphs[nn])
+	}
+	if altFeeds != nil {
+		for _, nn := range nets {
+			r.ownSlots(nn, r.feeds[nn], false)
+		}
+		for _, nn := range nets {
+			r.feeds[nn] = altFeeds[nn]
+			r.ownSlots(nn, r.feeds[nn], true)
+		}
+	}
+	restoreFeeds := func() {
+		if altFeeds == nil {
+			return
+		}
+		for _, nn := range nets {
+			r.ownSlots(nn, r.feeds[nn], false)
+		}
+		for _, nn := range nets {
+			r.feeds[nn] = oldFeeds[nn]
+			r.ownSlots(nn, r.feeds[nn], true)
+		}
+	}
+	restore := func() error {
+		for _, nn := range nets {
+			r.densRemoveGraph(nn, r.graphs[nn])
+			r.graphs[nn] = oldGraphs[nn]
+			r.densAddGraph(nn, r.graphs[nn])
+			r.netEpoch[nn]++
+			r.dpCache[nn] = nil
+			r.dcCache[nn] = nil
+		}
+		restoreFeeds()
+		return r.refreshTrees(nets)
+	}
+
+	for _, nn := range nets {
+		g, err := rgraph.Build(r.ckt, r.geo, nn, r.feeds[nn])
+		if err != nil {
+			// Put the old graphs and feeds back before failing.
+			for _, m := range nets {
+				if r.graphs[m] != oldGraphs[m] {
+					r.graphs[m] = oldGraphs[m]
+				}
+				r.densAddGraph(m, r.graphs[m])
+			}
+			restoreFeeds()
+			return false, fmt.Errorf("core: rebuilding net %s: %w", r.ckt.Nets[nn].Name, err)
+		}
+		r.graphs[nn] = g
+		r.densAddGraph(nn, g)
+		r.netEpoch[nn]++
+		r.dpCache[nn] = nil
+		r.dcCache[nn] = nil
+	}
+	if len(nets) == 2 {
+		if err := sameShape(r.graphs[nets[0]], r.graphs[nets[1]]); err != nil {
+			return false, err
+		}
+	}
+	if err := r.refreshTrees(nets); err != nil {
+		return false, err
+	}
+	for {
+		best, ok := r.selectEdge(nets, areaOrder)
+		if !ok {
+			break
+		}
+		if err := r.deleteEdge(best.net, best.edge); err != nil {
+			return false, err
+		}
+	}
+	after := r.objective()
+	if accept(before, after) {
+		return true, nil
+	}
+	if err := restore(); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// ownSlots claims or releases the feedthrough columns of one net.
+func (r *router) ownSlots(n int, feeds []rgraph.FeedPos, claim bool) {
+	w := r.ckt.Nets[n].Pitch
+	for _, f := range feeds {
+		for j := 0; j < w; j++ {
+			key := [2]int{f.Row, f.Col + j}
+			if claim {
+				r.slotOwner[key] = n
+			} else {
+				delete(r.slotOwner, key)
+			}
+		}
+	}
+}
+
+// reallocFeeds proposes moving the nets' feedthroughs to the free slot
+// groups nearest the net's terminal center (column-aligned across rows,
+// as in the initial assignment). It returns nil when nothing would move.
+func (r *router) reallocFeeds(nets []int) map[int][]rgraph.FeedPos {
+	primary := nets[0]
+	cur := r.feeds[primary]
+	if len(cur) == 0 {
+		return nil
+	}
+	width := r.ckt.Nets[primary].Pitch
+	mateShift := 0
+	leftOff := 0 // offset from the primary's column to the group's leftmost
+	if len(nets) == 2 {
+		// The pair occupies adjacent columns; preserve the current offset.
+		width = 2
+		mateShift = 1
+		if len(r.feeds[nets[1]]) > 0 {
+			mateShift = r.feeds[nets[1]][0].Col - cur[0].Col
+		}
+		if mateShift < 0 {
+			leftOff = mateShift
+		}
+	}
+	occupied := func(row, col int) bool {
+		owner, taken := r.slotOwner[[2]int{row, col}]
+		if !taken {
+			return false
+		}
+		for _, nn := range nets {
+			if owner == nn {
+				return false // own slots count as free
+			}
+		}
+		return true
+	}
+	_, _, center := feed.ChannelSpan(r.ckt, primary)
+	target := center
+	alt := make([]rgraph.FeedPos, 0, len(cur))
+	moved := false
+	for _, f := range cur {
+		curLeft := f.Col + leftOff
+		col := feed.FindGroup(r.geo, occupied, f.Row, width, target, width, false)
+		if col < 0 {
+			col = curLeft
+		}
+		if col != curLeft {
+			moved = true
+		}
+		alt = append(alt, rgraph.FeedPos{Row: f.Row, Col: col - leftOff})
+		target = col
+	}
+	if !moved {
+		return nil
+	}
+	out := map[int][]rgraph.FeedPos{primary: alt}
+	if len(nets) == 2 {
+		mate := make([]rgraph.FeedPos, len(alt))
+		for i, f := range alt {
+			mate[i] = rgraph.FeedPos{Row: f.Row, Col: f.Col + mateShift}
+		}
+		out[nets[1]] = mate
+	}
+	return out
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/dgraph"
+	"repro/internal/feed"
+	"repro/internal/grid"
+	"repro/internal/rgraph"
+)
+
+// PhaseStat records one Fig. 2 phase for tracing and experiments.
+type PhaseStat struct {
+	Name      string
+	Deletions int
+	// ByKind counts deletions per edge kind, indexed by rgraph.EKind
+	// (corr, branch, trunk, feed).
+	ByKind   [4]int
+	Reroutes int
+	Accepted int
+	Duration time.Duration
+}
+
+// Result is a finished global routing.
+type Result struct {
+	// Ckt is the routed circuit; when feed cells were inserted it is a
+	// widened copy of the input (AddedPitches > 0).
+	Ckt *circuit.Circuit
+	Geo *grid.Geometry
+	// Feeds per net, as assigned.
+	Feeds [][]rgraph.FeedPos
+	// Graphs hold the final interconnection trees (IsTree() holds).
+	Graphs []*rgraph.Graph
+	// WirelenUm is the estimated routed length per net, µm.
+	WirelenUm []float64
+	// TotalWirelenUm sums WirelenUm.
+	TotalWirelenUm float64
+	// Timing is the final analysis (constraints evaluated even for
+	// unconstrained runs).
+	Timing *dgraph.Timing
+	// Delay is the worst constrained-path delay, ps (0 if no constraints).
+	Delay float64
+	// Dens is the final channel-density state.
+	Dens *density.State
+	// AddedPitches is the §4.3 chip widening, columns.
+	AddedPitches int
+	// Phases traces the run.
+	Phases []PhaseStat
+}
+
+// Margin returns the final margin of constraint p.
+func (res *Result) Margin(p int) float64 { return res.Timing.Cons[p].Margin }
+
+// Violations counts constraints with negative margin.
+func (res *Result) Violations() int {
+	v := 0
+	for p := range res.Timing.Cons {
+		if res.Timing.Cons[p].Margin < 0 {
+			v++
+		}
+	}
+	return v
+}
+
+type router struct {
+	cfg    Config
+	ckt    *circuit.Circuit
+	geo    *grid.Geometry
+	feeds  [][]rgraph.FeedPos
+	graphs []*rgraph.Graph
+	dg     *dgraph.Graph
+	tm     *dgraph.Timing
+	trees  []*rgraph.Tree
+	wl     []float64
+	dens   *density.State
+	pairOf []int // diff mate or -1
+	// slotOwner maps occupied feedthrough columns (row, col) to their net.
+	slotOwner map[[2]int]int
+
+	// criteria caches (see criteria.go)
+	staEpoch int
+	netEpoch []int
+	dcCache  [][]delayCrit
+	dpCache  []map[int]float64
+
+	phases []PhaseStat
+}
+
+// Route runs the full global routing algorithm on a validated circuit.
+func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
+	if err := ckt.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// Net ordering for feedthrough assignment (§3.1). The default is
+	// ascending static slack from the zero-interconnect analysis; without
+	// constraints there are no slacks (the paper's baseline run), so
+	// index order is used — this is one of the two places the timing
+	// information enters.
+	order, err := netOrder(ckt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := feed.Assign(ckt, order)
+	if err != nil {
+		return nil, err
+	}
+	r := &router{cfg: cfg, ckt: fr.Ckt, geo: fr.Geo, feeds: fr.Feeds}
+	if r.dg, err = dgraph.New(r.ckt); err != nil {
+		return nil, err
+	}
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+
+	r.runPhase("initial", func(ps *PhaseStat) error { return r.initialRouting(ps) })
+	if !cfg.SkipImprovement {
+		if cfg.UseConstraints {
+			r.runPhase("recover-violations", func(ps *PhaseStat) error { return r.recoverViolations(ps) })
+			r.runPhase("improve-delay", func(ps *PhaseStat) error { return r.improveDelay(ps) })
+		}
+		r.runPhase("improve-area", func(ps *PhaseStat) error { return r.improveArea(ps) })
+	}
+	for n, g := range r.graphs {
+		if !g.IsTree() {
+			return nil, fmt.Errorf("core: net %s did not finish as a tree", r.ckt.Nets[n].Name)
+		}
+	}
+	res := &Result{
+		Ckt: r.ckt, Geo: r.geo, Feeds: r.feeds, Graphs: r.graphs,
+		WirelenUm: r.wl, Timing: r.tm, Dens: r.dens,
+		AddedPitches: fr.AddedPitches, Phases: r.phases,
+	}
+	for _, l := range r.wl {
+		res.TotalWirelenUm += l
+	}
+	for p := range r.tm.Cons {
+		if d := r.tm.Cons[p].Worst; d > res.Delay {
+			res.Delay = d
+		}
+	}
+	return res, nil
+}
+
+func (r *router) runPhase(name string, f func(*PhaseStat) error) {
+	ps := PhaseStat{Name: name}
+	start := time.Now()
+	err := f(&ps)
+	ps.Duration = time.Since(start)
+	r.phases = append(r.phases, ps)
+	if r.cfg.Trace != nil {
+		fmt.Fprintf(r.cfg.Trace, "phase %-20s deletions=%-5d (corr=%d branch=%d trunk=%d feed=%d) reroutes=%-4d accepted=%-4d %v err=%v\n",
+			name, ps.Deletions, ps.ByKind[rgraph.ECorr], ps.ByKind[rgraph.EBranch],
+			ps.ByKind[rgraph.ETrunk], ps.ByKind[rgraph.EFeed],
+			ps.Reroutes, ps.Accepted, ps.Duration.Round(time.Millisecond), err)
+	}
+}
+
+// slackOrder returns net indices ordered by ascending static slack.
+func slackOrder(dg *dgraph.Graph) []int {
+	slacks := dg.NetSlacks()
+	order := make([]int, len(slacks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return slacks[order[a]] < slacks[order[b]] })
+	return order
+}
+
+func (r *router) setup() error {
+	nNets := len(r.ckt.Nets)
+	r.graphs = make([]*rgraph.Graph, nNets)
+	r.trees = make([]*rgraph.Tree, nNets)
+	r.wl = make([]float64, nNets)
+	r.pairOf = make([]int, nNets)
+	r.netEpoch = make([]int, nNets)
+	r.dcCache = make([][]delayCrit, nNets)
+	r.dpCache = make([]map[int]float64, nNets)
+	r.dens = densityFor(r.ckt)
+	r.slotOwner = make(map[[2]int]int)
+	for n := 0; n < nNets; n++ {
+		r.ownSlots(n, r.feeds[n], true)
+	}
+
+	for n := 0; n < nNets; n++ {
+		g, err := rgraph.Build(r.ckt, r.geo, n, r.feeds[n])
+		if err != nil {
+			return err
+		}
+		r.graphs[n] = g
+		r.pairOf[n] = r.ckt.Nets[n].DiffMate
+	}
+	// Differential pairs must have isomorphic graphs for lock-step
+	// deletion (§4.1): identical edge lists up to the constant shift.
+	for n := 0; n < nNets; n++ {
+		m := r.pairOf[n]
+		if m == circuit.NoNet || m < n {
+			continue
+		}
+		if err := sameShape(r.graphs[n], r.graphs[m]); err != nil {
+			return fmt.Errorf("core: differential pair %s/%s: %w",
+				r.ckt.Nets[n].Name, r.ckt.Nets[m].Name, err)
+		}
+	}
+	for n, g := range r.graphs {
+		r.densAddGraph(n, g)
+	}
+	r.tm = r.dg.NewTiming()
+	if err := r.refreshTrees(allNets(nNets)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// densityFor allocates an empty density state sized to a circuit.
+func densityFor(ckt *circuit.Circuit) *density.State {
+	return density.New(ckt.Channels(), ckt.Cols)
+}
+
+func allNets(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// sameShape verifies structural isomorphism under the identity edge-index
+// mapping.
+func sameShape(a, b *rgraph.Graph) error {
+	if len(a.Edges) != len(b.Edges) || len(a.Verts) != len(b.Verts) {
+		return fmt.Errorf("graphs differ in size (%d/%d edges)", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		ea, eb := &a.Edges[i], &b.Edges[i]
+		if ea.Kind != eb.Kind || ea.U != eb.U || ea.V != eb.V || ea.Ch != eb.Ch {
+			return fmt.Errorf("edge %d shape mismatch (%s vs %s); differential pins must be adjacent", i, ea.Kind, eb.Kind)
+		}
+	}
+	return nil
+}
+
+// densAddGraph adds every alive edge of a net's graph to the density state.
+func (r *router) densAddGraph(n int, g *rgraph.Graph) {
+	w := g.Pitch
+	for _, e := range g.AliveEdges() {
+		ed := &g.Edges[e]
+		if ed.Kind != rgraph.ETrunk {
+			continue
+		}
+		r.dens.Add(ed.Ch, ed.X1, ed.X2, w)
+		if ed.Bridge {
+			r.dens.AddBridge(ed.Ch, ed.X1, ed.X2, w)
+		}
+	}
+}
+
+// densRemoveGraph removes every alive edge of a net's graph.
+func (r *router) densRemoveGraph(n int, g *rgraph.Graph) {
+	w := g.Pitch
+	for _, e := range g.AliveEdges() {
+		ed := &g.Edges[e]
+		if ed.Kind != rgraph.ETrunk {
+			continue
+		}
+		r.dens.Remove(ed.Ch, ed.X1, ed.X2, w)
+		if ed.Bridge {
+			r.dens.RemoveBridge(ed.Ch, ed.X1, ed.X2, w)
+		}
+	}
+}
+
+func (r *router) densRemoveEdges(n int, removed []int) {
+	g := r.graphs[n]
+	for _, e := range removed {
+		ed := &g.Edges[e]
+		if ed.Kind != rgraph.ETrunk {
+			continue
+		}
+		r.dens.Remove(ed.Ch, ed.X1, ed.X2, g.Pitch)
+		if ed.Bridge {
+			r.dens.RemoveBridge(ed.Ch, ed.X1, ed.X2, g.Pitch)
+		}
+	}
+}
+
+func (r *router) densFlipBridges(n int, flips []int) {
+	g := r.graphs[n]
+	for _, e := range flips {
+		ed := &g.Edges[e]
+		if ed.Kind != rgraph.ETrunk {
+			continue
+		}
+		if ed.Bridge {
+			r.dens.AddBridge(ed.Ch, ed.X1, ed.X2, g.Pitch)
+		} else {
+			r.dens.RemoveBridge(ed.Ch, ed.X1, ed.X2, g.Pitch)
+		}
+	}
+}
+
+// refreshTrees recomputes tentative trees, wire lengths, net delays and the
+// timing analysis for the given nets. Only the constraints whose subgraphs
+// contain the changed nets are re-analyzed — exact, since the other
+// constraints' arc delays are untouched.
+func (r *router) refreshTrees(nets []int) error {
+	touched := map[int]bool{}
+	for _, n := range nets {
+		t, err := r.graphs[n].Tentative()
+		if err != nil {
+			return fmt.Errorf("core: net %s: %w", r.ckt.Nets[n].Name, err)
+		}
+		r.trees[n] = t
+		r.wl[n] = t.Length
+		r.applyNetDelay(n)
+		for _, p := range r.dg.ConsOfNet(n) {
+			touched[p] = true
+		}
+	}
+	if len(nets) == len(r.graphs) || len(touched) == len(r.tm.Cons) {
+		r.tm.Analyze()
+	} else {
+		ps := make([]int, 0, len(touched))
+		for p := range touched {
+			ps = append(ps, p)
+		}
+		r.tm.AnalyzeCons(ps)
+	}
+	r.staEpoch++
+	return nil
+}
+
+// applyNetDelay pushes net n's delay into the timing model according to
+// the configured delay model.
+func (r *router) applyNetDelay(n int) {
+	if r.cfg.DelayModel == Elmore {
+		wire := r.graphs[n].ElmoreDelays(r.trees[n], r.ckt, r.cfg.RPerUm)
+		drv, _ := r.ckt.Driver(n)
+		tf, td := r.ckt.DriveOf(drv)
+		base := r.ckt.FanoutLoad(n)*tf + r.wl[n]*r.ckt.Tech.WireCapPerUm(r.ckt.Nets[n].Pitch)*td
+		per := make([]float64, 0, len(wire)-1)
+		for i := 1; i < len(wire); i++ {
+			per = append(per, base+wire[i])
+		}
+		r.tm.SetNetArcDelays(n, per)
+		return
+	}
+	r.tm.SetNetLumped(n, r.wl[n])
+}
+
+// deleteEdge removes one selected edge (and its differential mirror),
+// updating density, bridges, caches, trees and timing.
+func (r *router) deleteEdge(n, e int) error {
+	nets := []int{n}
+	if m := r.pairOf[n]; m != circuit.NoNet {
+		nets = append(nets, m)
+	}
+	var dirty []int
+	for _, nn := range nets {
+		g := r.graphs[nn]
+		removed, err := g.Delete(e)
+		if err != nil {
+			return fmt.Errorf("core: net %s edge %d: %w", r.ckt.Nets[nn].Name, e, err)
+		}
+		r.densRemoveEdges(nn, removed)
+		flips := g.RecomputeBridges()
+		r.densFlipBridges(nn, flips)
+		r.netEpoch[nn]++
+		r.dpCache[nn] = nil
+		for _, re := range removed {
+			if r.trees[nn].InTree[re] {
+				dirty = append(dirty, nn)
+				break
+			}
+		}
+	}
+	if len(dirty) > 0 {
+		return r.refreshTrees(dirty)
+	}
+	return nil
+}
+
+// initialRouting is the Fig. 2 lines 04-07 loop: repeatedly select a
+// non-bridge edge over all nets with the §3.4 heuristics and delete it.
+func (r *router) initialRouting(ps *PhaseStat) error {
+	areaOrder := r.cfg.AreaFirst
+	for {
+		best, ok := r.selectEdge(nil, areaOrder)
+		if !ok {
+			return nil
+		}
+		kind := r.edgeOf(best).Kind
+		if err := r.deleteEdge(best.net, best.edge); err != nil {
+			return err
+		}
+		ps.Deletions++
+		if int(kind) < len(ps.ByKind) {
+			ps.ByKind[kind]++
+		}
+	}
+}
+
+// penaltyTotal is Σ_P pen(M(P), P): the global objective of the delay
+// phases (eq. 4's reference sum).
+func (r *router) penaltyTotal() float64 {
+	var sum float64
+	for p := range r.tm.Cons {
+		sum += pen(r.tm.Cons[p].Margin, r.ckt.Cons[p].Limit)
+	}
+	return sum
+}
+
+// pen is the paper's penalty function: 1 - x/τ for x >= 0, exp(-x/τ) for
+// x < 0.
+func pen(x, tau float64) float64 {
+	if x >= 0 {
+		return 1 - x/tau
+	}
+	return math.Exp(-x / tau)
+}
+
+// recoverViolations (Fig. 2 line 08): while constraints are violated,
+// rip-up and reroute the nets on their critical paths, worst margin first.
+func (r *router) recoverViolations(ps *PhaseStat) error {
+	for pass := 0; pass < r.cfg.maxPasses(); pass++ {
+		violated := r.violatedCons()
+		if len(violated) == 0 {
+			return nil
+		}
+		improvedAny := false
+		for _, p := range violated {
+			for _, n := range r.tm.CriticalNets(p) {
+				improved, err := r.rerouteNet(n, r.cfg.AreaFirst, r.acceptDelay)
+				if err != nil {
+					return err
+				}
+				ps.Reroutes++
+				if improved {
+					ps.Accepted++
+					improvedAny = true
+				}
+			}
+		}
+		if !improvedAny {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (r *router) violatedCons() []int {
+	var out []int
+	for p := range r.tm.Cons {
+		if r.tm.Cons[p].Margin < 0 {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return r.tm.Cons[out[a]].Margin < r.tm.Cons[out[b]].Margin
+	})
+	return out
+}
+
+// improveDelay (Fig. 2 line 09): consider every constraint in ascending
+// margin order and reroute its critical nets.
+func (r *router) improveDelay(ps *PhaseStat) error {
+	for pass := 0; pass < r.cfg.maxPasses(); pass++ {
+		order := make([]int, len(r.tm.Cons))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return r.tm.Cons[order[a]].Margin < r.tm.Cons[order[b]].Margin
+		})
+		improvedAny := false
+		for _, p := range order {
+			for _, n := range r.tm.CriticalNets(p) {
+				improved, err := r.rerouteNet(n, r.cfg.AreaFirst, r.acceptDelay)
+				if err != nil {
+					return err
+				}
+				ps.Reroutes++
+				if improved {
+					ps.Accepted++
+					improvedAny = true
+				}
+			}
+		}
+		if !improvedAny {
+			return nil
+		}
+	}
+	return nil
+}
+
+// improveArea (Fig. 2 line 10): reroute nets running through the most
+// congested columns first, with the density criteria promoted (§3.5).
+func (r *router) improveArea(ps *PhaseStat) error {
+	for pass := 0; pass < r.cfg.maxPasses(); pass++ {
+		nets := r.congestedNets()
+		improvedAny := false
+		for _, n := range nets {
+			improved, err := r.rerouteNet(n, true, r.acceptArea)
+			if err != nil {
+				return err
+			}
+			ps.Reroutes++
+			if improved {
+				ps.Accepted++
+				improvedAny = true
+			}
+		}
+		if !improvedAny {
+			return nil
+		}
+	}
+	return nil
+}
+
+// congestedNets returns the nets with trunk edges over the maximum-density
+// columns of the most congested channel, most congested first.
+func (r *router) congestedNets() []int {
+	ch, cm := r.dens.MaxCM()
+	if ch < 0 || cm == 0 {
+		return nil
+	}
+	profile := r.dens.ProfileM(ch)
+	type scored struct {
+		net   int
+		cover int
+	}
+	var list []scored
+	for n, g := range r.graphs {
+		cover := 0
+		for _, e := range g.AliveEdges() {
+			ed := &g.Edges[e]
+			if ed.Kind != rgraph.ETrunk || ed.Ch != ch {
+				continue
+			}
+			for x := ed.X1; x < ed.X2; x++ {
+				if profile[x] == cm {
+					cover++
+				}
+			}
+		}
+		if cover > 0 {
+			list = append(list, scored{n, cover})
+		}
+	}
+	sort.SliceStable(list, func(a, b int) bool { return list[a].cover > list[b].cover })
+	out := make([]int, len(list))
+	for i, s := range list {
+		out[i] = s.net
+	}
+	return out
+}

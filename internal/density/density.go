@@ -1,0 +1,216 @@
+// Package density maintains the channel-density estimates of Harada &
+// Kitazawa §3.3 (Fig. 4): per-channel column profiles
+//
+//	d_M(c,x) — pitch-weighted count of all alive trunk edges over x,
+//	d_m(c,x) — pitch-weighted count of bridge trunk edges over x
+//
+// and the derived parameters C_M, C_m (profile maxima: upper and lower
+// bounds of the eventual channel density), NC_M, NC_m (number of columns
+// at the maximum), plus the per-edge interval versions D_M, D_m, ND_M,
+// ND_m used by the edge-selection heuristics.
+//
+// A trunk edge spanning columns [x1, x2) contributes its pitch weight to
+// every column in that half-open interval; abutting edges of one net thus
+// sum to the net's span without double counting. Zero-length edges (branch
+// and correspondence edges) contribute nothing, matching the paper: "the
+// channel densities ... can be obtained by counting the number of Gr(n)
+// trunk edges".
+package density
+
+import "fmt"
+
+// ChannelStats are the §3.3 channel parameters.
+type ChannelStats struct {
+	CM  int // C_M(c): max of d_M — upper bound of the channel density
+	NCM int // NC_M(c): number of columns where d_M reaches C_M
+	Cm  int // C_m(c): max of d_m — lower bound (bridges cannot be removed)
+	NCm int // NC_m(c): number of columns where d_m reaches C_m
+}
+
+// EdgeStats are the per-edge interval parameters.
+type EdgeStats struct {
+	DM  int // D_M(e): max of d_M over the edge's interval
+	NDM int // ND_M(e): columns of the interval where d_M equals C_M(c)
+	Dm  int // D_m(e): max of d_m over the interval
+	NDm int // ND_m(e): columns of the interval where d_m equals C_m(c)
+}
+
+// State tracks densities for every channel of a chip.
+type State struct {
+	cols  int
+	dM    [][]int
+	dm    [][]int
+	dirty []bool
+	stats []ChannelStats
+}
+
+// New creates a density state for the given channel count and column count.
+func New(channels, cols int) *State {
+	s := &State{
+		cols:  cols,
+		dM:    make([][]int, channels),
+		dm:    make([][]int, channels),
+		dirty: make([]bool, channels),
+		stats: make([]ChannelStats, channels),
+	}
+	for c := range s.dM {
+		s.dM[c] = make([]int, cols)
+		s.dm[c] = make([]int, cols)
+		s.dirty[c] = true
+	}
+	return s
+}
+
+// Channels returns the number of channels tracked.
+func (s *State) Channels() int { return len(s.dM) }
+
+// Cols returns the number of columns tracked.
+func (s *State) Cols() int { return s.cols }
+
+func (s *State) span(ch, x1, x2 int) (int, int) {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if ch < 0 || ch >= len(s.dM) || x1 < 0 || x2 > s.cols {
+		panic(fmt.Sprintf("density: interval ch=%d [%d,%d) outside %dx%d", ch, x1, x2, len(s.dM), s.cols))
+	}
+	return x1, x2
+}
+
+// Add adds a trunk edge of the given pitch weight spanning [x1, x2).
+func (s *State) Add(ch, x1, x2, w int) {
+	x1, x2 = s.span(ch, x1, x2)
+	for x := x1; x < x2; x++ {
+		s.dM[ch][x] += w
+	}
+	s.dirty[ch] = true
+}
+
+// Remove removes a previously added trunk edge.
+func (s *State) Remove(ch, x1, x2, w int) {
+	x1, x2 = s.span(ch, x1, x2)
+	for x := x1; x < x2; x++ {
+		s.dM[ch][x] -= w
+		if s.dM[ch][x] < 0 {
+			panic("density: d_M went negative")
+		}
+	}
+	s.dirty[ch] = true
+}
+
+// AddBridge marks a trunk edge as a bridge (it also remains counted in
+// d_M; bridges are a subset of all edges).
+func (s *State) AddBridge(ch, x1, x2, w int) {
+	x1, x2 = s.span(ch, x1, x2)
+	for x := x1; x < x2; x++ {
+		s.dm[ch][x] += w
+	}
+	s.dirty[ch] = true
+}
+
+// RemoveBridge undoes AddBridge.
+func (s *State) RemoveBridge(ch, x1, x2, w int) {
+	x1, x2 = s.span(ch, x1, x2)
+	for x := x1; x < x2; x++ {
+		s.dm[ch][x] -= w
+		if s.dm[ch][x] < 0 {
+			panic("density: d_m went negative")
+		}
+	}
+	s.dirty[ch] = true
+}
+
+// Channel returns the current §3.3 parameters of a channel.
+func (s *State) Channel(ch int) ChannelStats {
+	if s.dirty[ch] {
+		s.stats[ch] = computeStats(s.dM[ch], s.dm[ch])
+		s.dirty[ch] = false
+	}
+	return s.stats[ch]
+}
+
+func computeStats(dM, dm []int) ChannelStats {
+	var st ChannelStats
+	for _, v := range dM {
+		if v > st.CM {
+			st.CM = v
+		}
+	}
+	for _, v := range dm {
+		if v > st.Cm {
+			st.Cm = v
+		}
+	}
+	for i := range dM {
+		if dM[i] == st.CM {
+			st.NCM++
+		}
+		if dm[i] == st.Cm {
+			st.NCm++
+		}
+	}
+	return st
+}
+
+// Edge returns the interval parameters of an edge spanning [x1, x2) in the
+// channel. Zero-length edges (x1 == x2) read the single column x1, matching
+// the paper's "using the interval of e" for branch edges.
+func (s *State) Edge(ch, x1, x2 int) EdgeStats {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if x1 == x2 {
+		x2 = x1 + 1
+		if x2 > s.cols {
+			x1, x2 = s.cols-1, s.cols
+		}
+	}
+	x1, x2 = s.span(ch, x1, x2)
+	cs := s.Channel(ch)
+	var es EdgeStats
+	for x := x1; x < x2; x++ {
+		if v := s.dM[ch][x]; v > es.DM {
+			es.DM = v
+		}
+		if v := s.dm[ch][x]; v > es.Dm {
+			es.Dm = v
+		}
+		if s.dM[ch][x] == cs.CM {
+			es.NDM++
+		}
+		if s.dm[ch][x] == cs.Cm {
+			es.NDm++
+		}
+	}
+	return es
+}
+
+// ProfileM returns a copy of d_M(c, ·) for inspection and Fig. 4 renders.
+func (s *State) ProfileM(ch int) []int { return append([]int(nil), s.dM[ch]...) }
+
+// Profilem returns a copy of d_m(c, ·).
+func (s *State) Profilem(ch int) []int { return append([]int(nil), s.dm[ch]...) }
+
+// MaxCM returns the largest C_M over all channels and the channel holding
+// it; the router's area-improvement phase targets that channel first.
+func (s *State) MaxCM() (ch, cm int) {
+	ch = -1
+	for c := range s.dM {
+		if st := s.Channel(c); st.CM > cm || ch == -1 {
+			if st.CM > cm || ch == -1 {
+				ch, cm = c, st.CM
+			}
+		}
+	}
+	return ch, cm
+}
+
+// TotalTracks sums C_M over all channels: the chip-height contribution of
+// the channels if every channel routes in exactly its density.
+func (s *State) TotalTracks() int {
+	sum := 0
+	for c := range s.dM {
+		sum += s.Channel(c).CM
+	}
+	return sum
+}

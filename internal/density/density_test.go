@@ -1,0 +1,205 @@
+package density
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveRoundTrip(t *testing.T) {
+	s := New(3, 10)
+	s.Add(1, 2, 7, 1)
+	s.Add(1, 4, 9, 2)
+	st := s.Channel(1)
+	if st.CM != 3 {
+		t.Fatalf("CM = %d, want 3 (overlap of weight 1 and 2)", st.CM)
+	}
+	if st.NCM != 3 { // columns 4,5,6
+		t.Fatalf("NCM = %d, want 3", st.NCM)
+	}
+	s.Remove(1, 4, 9, 2)
+	s.Remove(1, 2, 7, 1)
+	st = s.Channel(1)
+	if st.CM != 0 || st.Cm != 0 {
+		t.Fatalf("after full removal CM=%d Cm=%d, want 0", st.CM, st.Cm)
+	}
+}
+
+func TestHalfOpenIntervals(t *testing.T) {
+	s := New(1, 10)
+	// Two abutting edges of one net: columns [2,5) and [5,8) must not
+	// double count at column 5.
+	s.Add(0, 2, 5, 1)
+	s.Add(0, 5, 8, 1)
+	if got := s.ProfileM(0); !reflect.DeepEqual(got, []int{0, 0, 1, 1, 1, 1, 1, 1, 0, 0}) {
+		t.Fatalf("profile = %v", got)
+	}
+	if st := s.Channel(0); st.CM != 1 {
+		t.Fatalf("CM = %d, want 1", st.CM)
+	}
+}
+
+func TestReversedIntervalNormalized(t *testing.T) {
+	s := New(1, 10)
+	s.Add(0, 7, 3, 1)
+	if st := s.Channel(0); st.CM != 1 || st.NCM != 4 {
+		t.Fatalf("reversed interval: CM=%d NCM=%d, want 1,4", st.CM, st.NCM)
+	}
+	s.Remove(0, 3, 7, 1)
+	if st := s.Channel(0); st.CM != 0 {
+		t.Fatal("remove with normalized interval failed")
+	}
+}
+
+func TestBridgeProfileSeparate(t *testing.T) {
+	s := New(1, 8)
+	s.Add(0, 0, 8, 1)
+	s.Add(0, 2, 6, 1)
+	s.AddBridge(0, 2, 6, 1) // the inner edge is a bridge
+	st := s.Channel(0)
+	if st.CM != 2 || st.Cm != 1 {
+		t.Fatalf("CM=%d Cm=%d, want 2,1", st.CM, st.Cm)
+	}
+	if st.NCm != 4 {
+		t.Fatalf("NCm = %d, want 4", st.NCm)
+	}
+	s.RemoveBridge(0, 2, 6, 1)
+	if st := s.Channel(0); st.Cm != 0 {
+		t.Fatal("bridge removal not reflected")
+	}
+}
+
+func TestEdgeStats(t *testing.T) {
+	s := New(1, 10)
+	s.Add(0, 0, 10, 1)
+	s.Add(0, 3, 7, 2)
+	s.AddBridge(0, 0, 10, 1)
+	// Channel: CM=3 on columns 3..6, Cm=1 everywhere.
+	es := s.Edge(0, 3, 7)
+	if es.DM != 3 || es.NDM != 4 {
+		t.Fatalf("inner edge DM=%d NDM=%d, want 3,4", es.DM, es.NDM)
+	}
+	if es.Dm != 1 || es.NDm != 4 {
+		t.Fatalf("inner edge Dm=%d NDm=%d, want 1,4", es.Dm, es.NDm)
+	}
+	es = s.Edge(0, 0, 2)
+	if es.DM != 1 || es.NDM != 0 {
+		t.Fatalf("outer edge DM=%d NDM=%d, want 1,0", es.DM, es.NDM)
+	}
+}
+
+func TestZeroLengthEdgeReadsSingleColumn(t *testing.T) {
+	s := New(1, 10)
+	s.Add(0, 4, 6, 3)
+	es := s.Edge(0, 5, 5)
+	if es.DM != 3 {
+		t.Fatalf("point edge DM = %d, want 3", es.DM)
+	}
+	es = s.Edge(0, 0, 0)
+	if es.DM != 0 {
+		t.Fatalf("point edge off the wire DM = %d, want 0", es.DM)
+	}
+	// A point read at the right boundary clamps inside the chip.
+	if es := s.Edge(0, 10, 10); es.DM != 0 {
+		t.Fatalf("boundary point read DM = %d", es.DM)
+	}
+}
+
+func TestMaxCMAndTotalTracks(t *testing.T) {
+	s := New(3, 10)
+	s.Add(0, 0, 5, 1)
+	s.Add(1, 0, 5, 1)
+	s.Add(1, 2, 8, 1)
+	s.Add(2, 1, 3, 4)
+	ch, cm := s.MaxCM()
+	if ch != 2 || cm != 4 {
+		t.Fatalf("MaxCM = (%d,%d), want (2,4)", ch, cm)
+	}
+	if got := s.TotalTracks(); got != 1+2+4 {
+		t.Fatalf("TotalTracks = %d, want 7", got)
+	}
+}
+
+func TestPanicsOnOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range interval")
+		}
+	}()
+	s := New(1, 10)
+	s.Add(0, 5, 11, 1)
+}
+
+// TestRandomizedConsistency: after a random add/remove sequence the stats
+// always match a from-scratch recomputation, and removing everything
+// returns to the empty state.
+func TestRandomizedConsistency(t *testing.T) {
+	type op struct{ ch, x1, x2, w int }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(2, 24)
+		ref := New(2, 24)
+		var ops []op
+		for i := 0; i < 40; i++ {
+			o := op{rng.Intn(2), rng.Intn(24), 0, 1 + rng.Intn(3)}
+			o.x2 = o.x1 + rng.Intn(24-o.x1)
+			ops = append(ops, o)
+			s.Add(o.ch, o.x1, o.x2, o.w)
+			ref.Add(o.ch, o.x1, o.x2, o.w)
+			if rng.Intn(3) == 0 {
+				s.AddBridge(o.ch, o.x1, o.x2, o.w)
+				s.RemoveBridge(o.ch, o.x1, o.x2, o.w)
+			}
+		}
+		for ch := 0; ch < 2; ch++ {
+			if s.Channel(ch) != ref.Channel(ch) {
+				return false
+			}
+			if !reflect.DeepEqual(s.ProfileM(ch), ref.ProfileM(ch)) {
+				return false
+			}
+		}
+		for _, o := range ops {
+			s.Remove(o.ch, o.x1, o.x2, o.w)
+		}
+		for ch := 0; ch < 2; ch++ {
+			if st := s.Channel(ch); st.CM != 0 || st.Cm != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservation: the integral of d_M equals the pitch-weighted column
+// count of everything added — no density is created or lost.
+func TestConservation(t *testing.T) {
+	s := New(1, 40)
+	total := 0
+	add := func(x1, x2, w int) {
+		s.Add(0, x1, x2, w)
+		total += (x2 - x1) * w
+	}
+	add(0, 40, 1)
+	add(5, 25, 2)
+	add(10, 12, 3)
+	sum := 0
+	for _, v := range s.ProfileM(0) {
+		sum += v
+	}
+	if sum != total {
+		t.Fatalf("profile integral %d, want %d", sum, total)
+	}
+	s.Remove(0, 5, 25, 2)
+	sum = 0
+	for _, v := range s.ProfileM(0) {
+		sum += v
+	}
+	if sum != total-40 {
+		t.Fatalf("after removal: %d, want %d", sum, total-40)
+	}
+}

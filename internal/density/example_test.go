@@ -1,0 +1,23 @@
+package density_test
+
+import (
+	"fmt"
+
+	"repro/internal/density"
+)
+
+// ExampleState shows the §3.3 parameters for a channel with two wires,
+// one of which is a bridge (unremovable).
+func ExampleState() {
+	s := density.New(1, 12)
+	s.Add(0, 0, 10, 1)      // a long trunk
+	s.Add(0, 3, 7, 1)       // a shorter one on top
+	s.AddBridge(0, 3, 7, 1) // ... that happens to be a bridge
+	st := s.Channel(0)
+	fmt.Printf("C_M=%d NC_M=%d C_m=%d NC_m=%d\n", st.CM, st.NCM, st.Cm, st.NCm)
+	e := s.Edge(0, 3, 7)
+	fmt.Printf("D_M=%d ND_M=%d\n", e.DM, e.NDM)
+	// Output:
+	// C_M=2 NC_M=4 C_m=1 NC_m=4
+	// D_M=2 ND_M=4
+}

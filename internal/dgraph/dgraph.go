@@ -1,0 +1,534 @@
+// Package dgraph builds the global delay graph G_D of Harada & Kitazawa
+// §2 and runs the longest-path static timing analysis the router uses:
+// per-constraint delay subgraphs Gd(P), forward/backward longest paths,
+// margins M(P), critical-net extraction, and the arc-delay bookkeeping for
+// both the paper's lumped-capacitance model and the Elmore (RC) extension.
+//
+// Vertices are circuit terminals. Arcs are either cell arcs (input pin →
+// output pin, delay T0) or net arcs (driving terminal → fan-out terminal,
+// delay (Σ Fin)·Tf + CL·Td under the lumped model).
+package dgraph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// NoNet marks a cell arc in Arc.Net.
+const NoNet = -1
+
+// Arc is one delay arc of G_D.
+type Arc struct {
+	From, To int // vertex indices
+	Net      int // net index for net arcs, NoNet for cell arcs
+	Sink     int // fan-out index within the net for net arcs
+	T0       float64
+}
+
+// Graph is the global delay graph of a circuit.
+type Graph struct {
+	Ckt   *circuit.Circuit
+	Verts []circuit.PinRef
+	Arcs  []Arc
+
+	vidx    map[circuit.PinRef]int
+	out, in [][]int // arc indices per vertex
+	topo    []int   // vertices in topological order
+
+	// netArcs[n] lists the arc indices of net n, in fan-out order.
+	netArcs [][]int
+	cons    []consMask
+	// consOfNet[n] lists constraints whose Gd(P) contains an arc of n.
+	consOfNet [][]int
+}
+
+type consMask struct {
+	inS, toT []bool // forward-reachable from S_P / backward-reachable to T_P
+	srcs     []int
+	sinks    []int
+}
+
+// VertexOf returns the vertex index of a terminal, or -1 if the terminal is
+// unconnected.
+func (g *Graph) VertexOf(ref circuit.PinRef) int {
+	if v, ok := g.vidx[ref]; ok {
+		return v
+	}
+	return -1
+}
+
+// NetArcs returns the arc indices of a net, in fan-out order.
+func (g *Graph) NetArcs(net int) []int { return g.netArcs[net] }
+
+// ConsOfNet returns the constraints whose Gd(P) contains an arc of net n.
+func (g *Graph) ConsOfNet(net int) []int { return g.consOfNet[net] }
+
+// InGd reports whether arc a belongs to Gd(P): its tail is reachable from
+// S_P and its head reaches T_P.
+func (g *Graph) InGd(p, a int) bool {
+	arc := &g.Arcs[a]
+	return g.cons[p].inS[arc.From] && g.cons[p].toT[arc.To]
+}
+
+// New builds the delay graph. The circuit must validate (in particular the
+// combinational part must be acyclic).
+func New(ckt *circuit.Circuit) (*Graph, error) {
+	g := &Graph{Ckt: ckt, vidx: map[circuit.PinRef]int{}}
+	vert := func(ref circuit.PinRef) int {
+		if v, ok := g.vidx[ref]; ok {
+			return v
+		}
+		v := len(g.Verts)
+		g.vidx[ref] = v
+		g.Verts = append(g.Verts, ref)
+		return v
+	}
+
+	// Net arcs: driver to each fan-out.
+	g.netArcs = make([][]int, len(ckt.Nets))
+	for n := range ckt.Nets {
+		drv, err := ckt.Driver(n)
+		if err != nil {
+			return nil, err
+		}
+		dv := vert(drv)
+		for si, t := range ckt.Fanouts(n) {
+			a := len(g.Arcs)
+			g.Arcs = append(g.Arcs, Arc{From: dv, To: vert(t), Net: n, Sink: si})
+			g.netArcs[n] = append(g.netArcs[n], a)
+		}
+	}
+	// Cell arcs, only between connected pins.
+	idx := ckt.BuildPinNetIndex()
+	for ci := range ckt.Cells {
+		ct := ckt.CellTypeOf(ci)
+		for _, arc := range ct.Arcs {
+			fr := circuit.PinRef{Cell: ci, Pin: ct.PinIndex(arc.From)}
+			to := circuit.PinRef{Cell: ci, Pin: ct.PinIndex(arc.To)}
+			if _, ok := idx[fr]; !ok {
+				continue
+			}
+			if _, ok := idx[to]; !ok {
+				continue
+			}
+			g.Arcs = append(g.Arcs, Arc{From: vert(fr), To: vert(to), Net: NoNet, T0: arc.T0})
+		}
+	}
+
+	g.out = make([][]int, len(g.Verts))
+	g.in = make([][]int, len(g.Verts))
+	for a := range g.Arcs {
+		g.out[g.Arcs[a].From] = append(g.out[g.Arcs[a].From], a)
+		g.in[g.Arcs[a].To] = append(g.in[g.Arcs[a].To], a)
+	}
+	if err := g.toposort(); err != nil {
+		return nil, err
+	}
+	g.buildConstraintMasks()
+	return g, nil
+}
+
+func (g *Graph) toposort() error {
+	indeg := make([]int, len(g.Verts))
+	for a := range g.Arcs {
+		indeg[g.Arcs[a].To]++
+	}
+	queue := make([]int, 0, len(g.Verts))
+	for v := range indeg {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	g.topo = g.topo[:0]
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.topo = append(g.topo, v)
+		for _, a := range g.out[v] {
+			w := g.Arcs[a].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(g.topo) != len(g.Verts) {
+		return fmt.Errorf("dgraph: delay graph has a cycle")
+	}
+	return nil
+}
+
+func (g *Graph) buildConstraintMasks() {
+	g.cons = make([]consMask, len(g.Ckt.Cons))
+	g.consOfNet = make([][]int, len(g.Ckt.Nets))
+	for p := range g.Ckt.Cons {
+		m := consMask{
+			inS: make([]bool, len(g.Verts)),
+			toT: make([]bool, len(g.Verts)),
+		}
+		var fwd []int
+		for _, r := range g.Ckt.Cons[p].From {
+			if v := g.VertexOf(r); v >= 0 && !m.inS[v] {
+				m.inS[v] = true
+				m.srcs = append(m.srcs, v)
+				fwd = append(fwd, v)
+			}
+		}
+		for len(fwd) > 0 {
+			v := fwd[len(fwd)-1]
+			fwd = fwd[:len(fwd)-1]
+			for _, a := range g.out[v] {
+				if w := g.Arcs[a].To; !m.inS[w] {
+					m.inS[w] = true
+					fwd = append(fwd, w)
+				}
+			}
+		}
+		var bwd []int
+		for _, r := range g.Ckt.Cons[p].To {
+			if v := g.VertexOf(r); v >= 0 && !m.toT[v] {
+				m.toT[v] = true
+				m.sinks = append(m.sinks, v)
+				bwd = append(bwd, v)
+			}
+		}
+		for len(bwd) > 0 {
+			v := bwd[len(bwd)-1]
+			bwd = bwd[:len(bwd)-1]
+			for _, a := range g.in[v] {
+				if w := g.Arcs[a].From; !m.toT[w] {
+					m.toT[w] = true
+					bwd = append(bwd, w)
+				}
+			}
+		}
+		g.cons[p] = m
+		for n := range g.Ckt.Nets {
+			for _, a := range g.netArcs[n] {
+				if g.InGd(p, a) {
+					g.consOfNet[n] = append(g.consOfNet[n], p)
+					break
+				}
+			}
+		}
+	}
+}
+
+// Reachable returns the vertex set reachable from a terminal along delay
+// arcs (used e.g. to pick valid constraint endpoints). The result is
+// indexed by vertex id; it is all-false for unconnected terminals.
+func (g *Graph) Reachable(from circuit.PinRef) []bool {
+	seen := make([]bool, len(g.Verts))
+	start := g.VertexOf(from)
+	if start < 0 {
+		return seen
+	}
+	seen[start] = true
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.out[v] {
+			if w := g.Arcs[a].To; !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// LumpedArcDelay returns the net-arc delay of the lumped capacitance model
+// for the given estimated wire length (µm): (Σ Fin)·Tf + CL·Td, shared by
+// every sink of the net.
+func (g *Graph) LumpedArcDelay(net int, wirelenUm float64) float64 {
+	drv, _ := g.Ckt.Driver(net)
+	tf, td := g.Ckt.DriveOf(drv)
+	cl := wirelenUm * g.Ckt.Tech.WireCapPerUm(g.Ckt.Nets[net].Pitch)
+	return g.Ckt.FanoutLoad(net)*tf + cl*td
+}
+
+// Timing holds arc delays plus per-constraint longest-path results. Create
+// one with NewTiming, set delays, then Analyze.
+type Timing struct {
+	G        *Graph
+	ArcDelay []float64
+	Cons     []ConsTiming
+}
+
+// ConsTiming is the analysis of one constraint P.
+type ConsTiming struct {
+	// LpF[v] is the longest arrival delay from S_P to v within Gd(P);
+	// LpR[v] the longest departure delay from v to T_P. Vertices outside
+	// Gd(P) hold -Inf.
+	LpF, LpR []float64
+	Worst    float64 // critical path delay of Gd(P)
+	Margin   float64 // M(P) = limit - Worst
+}
+
+// NewTiming allocates a Timing with all cell-arc delays filled in and all
+// net-arc delays zero.
+func (g *Graph) NewTiming() *Timing {
+	t := &Timing{G: g, ArcDelay: make([]float64, len(g.Arcs)), Cons: make([]ConsTiming, len(g.Ckt.Cons))}
+	for a := range g.Arcs {
+		if g.Arcs[a].Net == NoNet {
+			t.ArcDelay[a] = g.Arcs[a].T0
+		}
+	}
+	for p := range t.Cons {
+		t.Cons[p].LpF = make([]float64, len(g.Verts))
+		t.Cons[p].LpR = make([]float64, len(g.Verts))
+	}
+	return t
+}
+
+// SetLumped sets every net arc's delay from the lumped model and the given
+// per-net estimated wire lengths (µm).
+func (t *Timing) SetLumped(wirelenUm []float64) {
+	for n, arcs := range t.G.netArcs {
+		d := t.G.LumpedArcDelay(n, wirelenUm[n])
+		for _, a := range arcs {
+			t.ArcDelay[a] = d
+		}
+	}
+}
+
+// SetNetLumped updates one net's arcs from the lumped model.
+func (t *Timing) SetNetLumped(net int, wirelenUm float64) {
+	d := t.G.LumpedArcDelay(net, wirelenUm)
+	for _, a := range t.G.netArcs[net] {
+		t.ArcDelay[a] = d
+	}
+}
+
+// SetNetArcDelays sets per-sink delays for one net (Elmore/RC extension:
+// each fan-out sees its own delay). perSink is indexed like Fanouts(net).
+func (t *Timing) SetNetArcDelays(net int, perSink []float64) {
+	for i, a := range t.G.netArcs[net] {
+		t.ArcDelay[a] = perSink[i]
+	}
+}
+
+var negInf = math.Inf(-1)
+
+// Analyze recomputes every constraint's longest paths and margin from the
+// current arc delays.
+func (t *Timing) Analyze() {
+	for p := range t.Cons {
+		t.analyzeOne(p)
+	}
+}
+
+// AnalyzeCons recomputes only the given constraints. Exact when the arc
+// delays that changed belong solely to nets inside those constraints'
+// subgraphs — the other constraints' longest paths are untouched by
+// construction.
+func (t *Timing) AnalyzeCons(ps []int) {
+	for _, p := range ps {
+		t.analyzeOne(p)
+	}
+}
+
+func (t *Timing) analyzeOne(p int) {
+	g := t.G
+	{
+		ct := &t.Cons[p]
+		m := &g.cons[p]
+		for v := range ct.LpF {
+			ct.LpF[v] = negInf
+			ct.LpR[v] = negInf
+		}
+		inGd := func(v int) bool { return m.inS[v] && m.toT[v] }
+		for _, v := range m.srcs {
+			if inGd(v) {
+				ct.LpF[v] = 0
+			}
+		}
+		for _, v := range g.topo {
+			if ct.LpF[v] == negInf {
+				continue
+			}
+			for _, a := range g.out[v] {
+				w := g.Arcs[a].To
+				if !inGd(w) {
+					continue
+				}
+				if d := ct.LpF[v] + t.ArcDelay[a]; d > ct.LpF[w] {
+					ct.LpF[w] = d
+				}
+			}
+		}
+		for _, v := range m.sinks {
+			if inGd(v) {
+				ct.LpR[v] = 0
+			}
+		}
+		for i := len(g.topo) - 1; i >= 0; i-- {
+			v := g.topo[i]
+			if !inGd(v) {
+				continue
+			}
+			for _, a := range g.out[v] {
+				w := g.Arcs[a].To
+				if ct.LpR[w] == negInf {
+					continue
+				}
+				if d := ct.LpR[w] + t.ArcDelay[a]; d > ct.LpR[v] {
+					ct.LpR[v] = d
+				}
+			}
+		}
+		ct.Worst = negInf
+		for _, v := range m.sinks {
+			if ct.LpF[v] > ct.Worst {
+				ct.Worst = ct.LpF[v]
+			}
+		}
+		if ct.Worst == negInf {
+			// No source reaches any sink: constraint is trivially met.
+			ct.Worst = 0
+		}
+		ct.Margin = g.Ckt.Cons[p].Limit - ct.Worst
+	}
+}
+
+// DeltaIfNetDelay returns the paper's pessimistic arrival increase used in
+// LM(e,P): max over the arcs (v,w) of the net inside Gd(P) of
+// max(0, lp(v) + dNew − lp(w)), where dNew is the prospective new arc
+// delay of the net.
+func (t *Timing) DeltaIfNetDelay(p, net int, dNew float64) float64 {
+	ct := &t.Cons[p]
+	var worst float64
+	for _, a := range t.G.netArcs[net] {
+		if !t.G.InGd(p, a) {
+			continue
+		}
+		v, w := t.G.Arcs[a].From, t.G.Arcs[a].To
+		if ct.LpF[v] == negInf || ct.LpF[w] == negInf {
+			continue
+		}
+		if d := ct.LpF[v] + dNew - ct.LpF[w]; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+const eps = 1e-9
+
+// CriticalNets returns the nets with an arc on a critical (longest) path of
+// constraint p, in order of first appearance along the topological order.
+func (t *Timing) CriticalNets(p int) []int {
+	ct := &t.Cons[p]
+	seen := map[int]bool{}
+	var nets []int
+	for _, v := range t.G.topo {
+		if ct.LpF[v] == negInf || ct.LpR[v] == negInf {
+			continue
+		}
+		for _, a := range t.G.out[v] {
+			arc := &t.G.Arcs[a]
+			if arc.Net == NoNet || seen[arc.Net] {
+				continue
+			}
+			w := arc.To
+			if ct.LpR[w] == negInf {
+				continue
+			}
+			if math.Abs(ct.LpF[v]+t.ArcDelay[a]+ct.LpR[w]-ct.Worst) <= eps*(1+math.Abs(ct.Worst)) {
+				seen[arc.Net] = true
+				nets = append(nets, arc.Net)
+			}
+		}
+	}
+	return nets
+}
+
+// CriticalPath returns the arc indices of one longest source-to-sink path
+// of constraint p, in path order. It returns nil when the constraint has
+// no path.
+func (t *Timing) CriticalPath(p int) []int {
+	ct := &t.Cons[p]
+	m := &t.G.cons[p]
+	// Find the worst sink.
+	end := -1
+	for _, v := range m.sinks {
+		if ct.LpF[v] == ct.Worst && ct.LpF[v] != negInf {
+			end = v
+			break
+		}
+	}
+	if end == -1 {
+		return nil
+	}
+	var rev []int
+	v := end
+	for ct.LpF[v] > 0 {
+		found := -1
+		for _, a := range t.G.in[v] {
+			u := t.G.Arcs[a].From
+			if ct.LpF[u] == negInf {
+				continue
+			}
+			d := ct.LpF[u] + t.ArcDelay[a]
+			if math.Abs(d-ct.LpF[v]) <= eps*(1+math.Abs(ct.LpF[v])) {
+				found = a
+				break
+			}
+		}
+		if found == -1 {
+			break
+		}
+		rev = append(rev, found)
+		v = t.G.Arcs[found].From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// WorstViolation returns the most-violated constraint index and its margin,
+// or (-1, 0) when every constraint is met.
+func (t *Timing) WorstViolation() (int, float64) {
+	worst, at := 0.0, -1
+	for p := range t.Cons {
+		if t.Cons[p].Margin < worst {
+			worst, at = t.Cons[p].Margin, p
+		}
+	}
+	return at, worst
+}
+
+// NetSlacks runs the zero-interconnect analysis of §3.1 and returns, per
+// net, the smallest path slack of any constraint arc the net lies on
+// (+Inf for nets on no constrained path). The router orders feedthrough
+// assignment by these values ascending.
+func (g *Graph) NetSlacks() []float64 {
+	t := g.NewTiming()
+	t.SetLumped(make([]float64, len(g.Ckt.Nets)))
+	t.Analyze()
+	slacks := make([]float64, len(g.Ckt.Nets))
+	for n := range slacks {
+		slacks[n] = math.Inf(1)
+		for _, p := range g.consOfNet[n] {
+			ct := &t.Cons[p]
+			for _, a := range g.netArcs[n] {
+				if !g.InGd(p, a) {
+					continue
+				}
+				v, w := g.Arcs[a].From, g.Arcs[a].To
+				if ct.LpF[v] == negInf || ct.LpR[w] == negInf {
+					continue
+				}
+				s := g.Ckt.Cons[p].Limit - (ct.LpF[v] + t.ArcDelay[a] + ct.LpR[w])
+				if s < slacks[n] {
+					slacks[n] = s
+				}
+			}
+		}
+	}
+	return slacks
+}

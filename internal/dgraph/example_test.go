@@ -1,0 +1,42 @@
+package dgraph_test
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/dgraph"
+)
+
+// ExampleTiming_Analyze runs the longest-path analysis on the sample
+// circuit with 100 µm of wire per net.
+func ExampleTiming_Analyze() {
+	ckt := circuit.SampleSmall()
+	g, err := dgraph.New(ckt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	tm := g.NewTiming()
+	wl := make([]float64, len(ckt.Nets))
+	for i := range wl {
+		wl[i] = 100
+	}
+	tm.SetLumped(wl)
+	tm.Analyze()
+	fmt.Printf("critical delay %.1f ps, margin %.1f ps\n", tm.Cons[0].Worst, tm.Cons[0].Margin)
+	for _, a := range tm.CriticalPath(0) {
+		arc := g.Arcs[a]
+		fmt.Printf("  -> %s\n", ckt.PinName(g.Verts[arc.To]))
+	}
+	// Output:
+	// critical delay 409.8 ps, margin 490.2 ps
+	//   -> b0.A
+	//   -> b0.Z
+	//   -> g1.A
+	//   -> g1.Z
+	//   -> g2.B
+	//   -> g2.Z
+	//   -> i1.A
+	//   -> i1.Z
+	//   -> d0.D
+}

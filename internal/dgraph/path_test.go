@@ -1,0 +1,85 @@
+package dgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+func TestCriticalPathReconstructs(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	g := mustGraph(t, ckt)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wl := make([]float64, len(ckt.Nets))
+		for i := range wl {
+			wl[i] = rng.Float64() * 400
+		}
+		tm := g.NewTiming()
+		tm.SetLumped(wl)
+		tm.Analyze()
+		for p := range tm.Cons {
+			arcs := tm.CriticalPath(p)
+			if tm.Cons[p].Worst > 0 && len(arcs) == 0 {
+				return false
+			}
+			// The path's arc delays must sum to the critical delay and
+			// the arcs must chain head-to-tail.
+			var sum float64
+			for i, a := range arcs {
+				sum += tm.ArcDelay[a]
+				if i > 0 && g.Arcs[arcs[i-1]].To != g.Arcs[a].From {
+					return false
+				}
+			}
+			if math.Abs(sum-tm.Cons[p].Worst) > 1e-6 {
+				return false
+			}
+			// Path starts at a constraint source and ends at a sink.
+			if len(arcs) > 0 {
+				start := g.Verts[g.Arcs[arcs[0]].From]
+				end := g.Verts[g.Arcs[arcs[len(arcs)-1]].To]
+				if !refIn(ckt.Cons[p].From, start) || !refIn(ckt.Cons[p].To, end) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func refIn(set []circuit.PinRef, ref circuit.PinRef) bool {
+	for _, r := range set {
+		if r == ref {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCriticalPathEmptyWhenNoPath(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	// A constraint between two unconnected endpoints: OUT0 pad (sink of
+	// nq) to d0.D — nq is downstream of d0, so no path exists.
+	ckt.Cons = append(ckt.Cons, circuit.Constraint{
+		Name: "PX", Limit: 100,
+		From: []circuit.PinRef{circuit.Ext(1)},
+		To:   []circuit.PinRef{{Cell: 3, Pin: 0}},
+	})
+	g := mustGraph(t, ckt)
+	tm := g.NewTiming()
+	tm.SetLumped(make([]float64, len(ckt.Nets)))
+	tm.Analyze()
+	if tm.Cons[1].Worst != 0 {
+		t.Fatalf("impossible constraint got delay %v", tm.Cons[1].Worst)
+	}
+	if arcs := tm.CriticalPath(1); len(arcs) != 0 {
+		t.Fatalf("impossible constraint got a path of %d arcs", len(arcs))
+	}
+}

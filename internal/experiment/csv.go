@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the full evaluation as machine-readable CSV: one line per
+// data set with both modes' metrics and the derived Table 3 columns.
+func WriteCSV(w io.Writer, rows []*Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"name", "cells", "nets", "constraints", "lower_bound_ps",
+		"con_delay_ps", "con_area_mm2", "con_len_mm", "con_cpu_s", "con_violations", "con_tracks",
+		"unc_delay_ps", "unc_area_mm2", "unc_len_mm", "unc_cpu_s", "unc_violations", "unc_tracks",
+		"con_diff_pct", "unc_diff_pct", "improvement_pct_of_lb",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return fmt.Sprintf("%.4f", v) }
+	d := func(v int) string { return fmt.Sprintf("%d", v) }
+	for _, r := range rows {
+		con, unc := r.DiffPct()
+		rec := []string{
+			r.Name, d(r.Cells), d(r.Nets), d(r.Cons), f(r.LowerBoundPs),
+			f(r.Con.DelayPs), f(r.Con.AreaMm2), f(r.Con.LengthMm), f(r.Con.CPUSec), d(r.Con.Violations), d(r.Con.Tracks),
+			f(r.Unc.DelayPs), f(r.Unc.AreaMm2), f(r.Unc.LengthMm), f(r.Unc.CPUSec), d(r.Unc.Violations), d(r.Unc.Tracks),
+			f(con), f(unc), f(r.ImprovementPct()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

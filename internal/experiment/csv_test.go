@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	rows := []*Row{
+		{Name: "C1P1", Cells: 246, Nets: 201, Cons: 8, LowerBoundPs: 1598.5,
+			Con: Run{DelayPs: 1813.2, AreaMm2: 1.474, LengthMm: 180, CPUSec: 0.02, Tracks: 109},
+			Unc: Run{DelayPs: 2020.8, AreaMm2: 1.482, LengthMm: 180.1, CPUSec: 0.01, Tracks: 108}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want header + 1 row", len(recs))
+	}
+	if len(recs[0]) != len(recs[1]) {
+		t.Fatal("header/row width mismatch")
+	}
+	if recs[1][0] != "C1P1" {
+		t.Fatalf("name column = %q", recs[1][0])
+	}
+	// improvement column is the last: (2020.8-1813.2)/1598.5*100.
+	imp, err := strconv.ParseFloat(recs[1][len(recs[1])-1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp < 12.9 || imp > 13.1 {
+		t.Fatalf("improvement = %v, want ~12.99", imp)
+	}
+}

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+func TestRunGeneratedSample(t *testing.T) {
+	// The hand-built sample is tiny, so a full two-mode evaluation is
+	// cheap and exercises the whole pipeline.
+	row, err := RunGenerated("sample", circuit.SampleSmall(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.LowerBoundPs <= 0 {
+		t.Fatal("no lower bound")
+	}
+	if row.Con.DelayPs < row.LowerBoundPs {
+		t.Fatalf("constrained delay %v below lower bound %v", row.Con.DelayPs, row.LowerBoundPs)
+	}
+	if row.Unc.DelayPs < row.LowerBoundPs {
+		t.Fatalf("unconstrained delay %v below lower bound %v", row.Unc.DelayPs, row.LowerBoundPs)
+	}
+	if row.Con.DelayPs > row.Unc.DelayPs+1e-6 {
+		t.Fatalf("constrained delay %v worse than unconstrained %v", row.Con.DelayPs, row.Unc.DelayPs)
+	}
+	if row.Con.AreaMm2 <= 0 || row.Con.LengthMm <= 0 {
+		t.Fatal("missing area/length")
+	}
+	if row.Cells != 5 {
+		t.Fatalf("cells = %d, want 5 (the 3 feed cells are excluded)", row.Cells)
+	}
+}
+
+func TestRunDatasetC1P1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset run in -short mode")
+	}
+	row, err := RunDataset("C1P1", core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, unc := row.DiffPct()
+	if con < 0 || unc < 0 {
+		t.Fatalf("delays below the lower bound: con=%v unc=%v", con, unc)
+	}
+	// The reproduction's expected shape: the constrained run is at least
+	// as close to the lower bound as the unconstrained one.
+	if con > unc+1e-9 {
+		t.Fatalf("constrained diff %v%% worse than unconstrained %v%%", con, unc)
+	}
+	if row.ImprovementPct() < 0 {
+		t.Fatalf("negative improvement %v", row.ImprovementPct())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rows := []*Row{
+		{Name: "A", LowerBoundPs: 100, Con: Run{DelayPs: 108, AreaMm2: 1.0}, Unc: Run{DelayPs: 130, AreaMm2: 1.0}},
+		{Name: "B", LowerBoundPs: 200, Con: Run{DelayPs: 230, AreaMm2: 2.0}, Unc: Run{DelayPs: 270, AreaMm2: 2.1}},
+	}
+	h := Summarize(rows)
+	// Row A: reduction (130-108)/100 = 22%; row B: (270-230)/200 = 20%.
+	if h.AvgReductionOfLB < 20.9 || h.AvgReductionOfLB > 21.1 {
+		t.Fatalf("AvgReductionOfLB = %v, want 21", h.AvgReductionOfLB)
+	}
+	// A: con diff 8% (<10 ok). B: con diff 15%, unc 35%: 15 < 17.5 ok.
+	if h.HalfOrTenSatisfied != 2 {
+		t.Fatalf("HalfOrTenSatisfied = %d, want 2", h.HalfOrTenSatisfied)
+	}
+	if h.MinImprovementPct > h.MaxImprovementPct {
+		t.Fatal("min/max inverted")
+	}
+}
+
+func TestScalingText(t *testing.T) {
+	points := []ScalePoint{{Name: "X", Cells: 10, Nets: 8, GenSec: 0.01, RouteSec: 0.02, DelayPs: 123.4}}
+	s := ScalingText(points)
+	for _, want := range []string{"Runtime scaling", "X", "123.4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("scaling text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBaselineSample(t *testing.T) {
+	run, err := RunBaseline(circuit.SampleSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.DelayPs <= 0 || run.AreaMm2 <= 0 || run.LengthMm <= 0 {
+		t.Fatalf("incomplete baseline run: %+v", run)
+	}
+	// The baseline and the concurrent router measure the same circuit; on
+	// this tiny fixture they must land in the same ballpark.
+	con, err := RunCircuit(circuit.SampleSmall(), core.Config{UseConstraints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.DelayPs < con.DelayPs*0.5 || run.DelayPs > con.DelayPs*2 {
+		t.Fatalf("baseline delay %v implausible vs %v", run.DelayPs, con.DelayPs)
+	}
+}
+
+func TestRunAllAndScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	rows, err := RunAll(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	points, err := Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("scaling points = %d, want 4", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Nets < points[i-1].Nets {
+			t.Fatalf("scaling points not ordered by size")
+		}
+	}
+}
+
+func TestRobustnessTextSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates circuits")
+	}
+	st, err := Robustness(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seeds != 3 || len(st.Reductions) != 3 {
+		t.Fatalf("stats incomplete: %+v", st)
+	}
+	if st.MinPct > st.MedianPct || st.MedianPct > st.MaxPct {
+		t.Fatalf("order statistics inconsistent: %+v", st)
+	}
+	s := RobustnessText(st)
+	if !strings.Contains(s, "3 fresh circuits") || !strings.Contains(s, "mean") {
+		t.Fatalf("text malformed:\n%s", s)
+	}
+}

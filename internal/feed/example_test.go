@@ -1,0 +1,24 @@
+package feed_test
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/feed"
+)
+
+// ExampleAssign books feedthroughs for the sample circuit; the fixture is
+// deliberately one slot short in row 1, so §4.3 insertion widens the chip.
+func ExampleAssign() {
+	ckt := circuit.SampleSmall()
+	res, err := feed.Assign(ckt, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("chip widened by %d columns\n", res.AddedPitches)
+	fmt.Printf("net n1 feedthroughs: %v\n", res.Feeds[1])
+	// Output:
+	// chip widened by 2 columns
+	// net n1 feedthroughs: [{0 11}]
+}

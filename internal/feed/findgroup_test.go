@@ -1,0 +1,116 @@
+package feed
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/grid"
+)
+
+// slotRow builds a geometry with feed slots at the given columns of row 0.
+func slotRow(t *testing.T, cols ...int) *grid.Geometry {
+	t.Helper()
+	maxCol := 0
+	for _, c := range cols {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
+	ckt := &circuit.Circuit{
+		Name: "slots", Tech: circuit.DefaultTech, Rows: 1, Cols: maxCol + 2,
+		Lib: []circuit.CellType{{Name: "FEED", Width: 1, Feed: true}},
+	}
+	for i, c := range cols {
+		ckt.Cells = append(ckt.Cells, circuit.Cell{Name: string(rune('a' + i)), Type: 0, Row: 0, Col: c})
+	}
+	geo, err := grid.New(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return geo
+}
+
+func none(row, col int) bool { return false }
+
+func TestFindGroupNearest(t *testing.T) {
+	geo := slotRow(t, 2, 5, 9)
+	if got := FindGroup(geo, none, 0, 1, 6, 1, false); got != 5 {
+		t.Fatalf("nearest to 6 = %d, want 5", got)
+	}
+	if got := FindGroup(geo, none, 0, 1, 0, 1, false); got != 2 {
+		t.Fatalf("nearest to 0 = %d, want 2", got)
+	}
+}
+
+func TestFindGroupAdjacency(t *testing.T) {
+	geo := slotRow(t, 2, 3, 7, 9, 10, 11)
+	// Width 2: groups at (2,3), (9,10), (10,11).
+	if got := FindGroup(geo, none, 0, 2, 0, 2, false); got != 2 {
+		t.Fatalf("2-wide near 0 = %d, want 2", got)
+	}
+	if got := FindGroup(geo, none, 0, 2, 12, 2, false); got != 10 {
+		t.Fatalf("2-wide near 12 = %d, want 10", got)
+	}
+	// Width 3: only (9,10,11).
+	if got := FindGroup(geo, none, 0, 3, 0, 3, false); got != 9 {
+		t.Fatalf("3-wide = %d, want 9", got)
+	}
+	// Width 4: none.
+	if got := FindGroup(geo, none, 0, 4, 0, 4, false); got != -1 {
+		t.Fatalf("4-wide = %d, want -1", got)
+	}
+}
+
+func TestFindGroupOccupancy(t *testing.T) {
+	geo := slotRow(t, 2, 5, 9)
+	occ := func(row, col int) bool { return col == 5 }
+	if got := FindGroup(geo, occ, 0, 1, 6, 1, false); got != 9 {
+		t.Fatalf("with 5 taken, nearest to 6 = %d, want 9", got)
+	}
+}
+
+func TestFindGroupFlags(t *testing.T) {
+	geo := slotRow(t, 2, 5, 9, 10)
+	geo.SetFlag(0, 5, 2)
+	geo.SetFlag(0, 9, 2)
+	geo.SetFlag(0, 10, 2)
+	// With flags respected, a 1-pitch net may not use 2-flagged slots.
+	if got := FindGroup(geo, none, 0, 1, 6, 1, true); got != 2 {
+		t.Fatalf("1-pitch with flags = %d, want 2 (only unflagged slot)", got)
+	}
+	// A 2-pitch net must use a 2-flagged adjacent group.
+	if got := FindGroup(geo, none, 0, 2, 0, 2, true); got != 9 {
+		t.Fatalf("2-pitch with flags = %d, want 9", got)
+	}
+	// Ignoring flags, the 1-pitch net takes the nearest slot.
+	if got := FindGroup(geo, none, 0, 1, 6, 1, false); got != 5 {
+		t.Fatalf("1-pitch without flags = %d, want 5", got)
+	}
+}
+
+func TestFlagCompatible(t *testing.T) {
+	cases := []struct {
+		flag, width int
+		want        bool
+	}{
+		{0, 1, true}, {1, 1, true}, {2, 1, false}, {3, 1, false},
+		{0, 2, false}, {1, 2, false}, {2, 2, true}, {3, 2, false},
+		{3, 3, true},
+	}
+	for _, c := range cases {
+		if got := flagCompatible(c.flag, c.width); got != c.want {
+			t.Errorf("flagCompatible(%d,%d) = %v, want %v", c.flag, c.width, got, c.want)
+		}
+	}
+}
+
+func TestChannelSpanExported(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	minCh, maxCh, center := ChannelSpan(ckt, 1) // net n1
+	if minCh != 0 || maxCh != 1 {
+		t.Fatalf("n1 channel span [%d,%d], want [0,1]", minCh, maxCh)
+	}
+	if center <= 0 || center >= ckt.Cols {
+		t.Fatalf("center %d out of range", center)
+	}
+}

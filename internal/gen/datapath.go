@@ -1,0 +1,234 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Datapath mode synthesizes bit-sliced circuits shaped like the paper's
+// transmission-system chips: B bit rows (one per cell row) flowing through
+// S pipeline stages left to right, registered every few stages, with
+// stage-wide control nets broadcast vertically from bottom pads — the
+// vertical fan-out pattern that makes bipolar feedthrough scarcity bite.
+//
+// Enable with Params.Datapath. DiffPairs is ignored in this mode; the wide
+// clock and constraints work as in random mode.
+
+// buildDatapath replaces pickCells/place/wire for datapath circuits.
+func (g *builder) buildDatapath() error {
+	ckt := g.ckt
+	bits := g.p.Rows
+	stages := g.p.Cells / bits
+	if stages < 3 {
+		stages = 3
+	}
+	const regEvery = 4 // every 4th stage is a register rank
+
+	type slot struct{ cell int }
+	grid := make([][]slot, stages)
+	// Choose types: register ranks are DFF, others random comb with at
+	// least two inputs so control nets have somewhere to land.
+	combTypes := []int{tNOR2, tNOR3, tOR2}
+	for s := 0; s < stages; s++ {
+		grid[s] = make([]slot, bits)
+		for b := 0; b < bits; b++ {
+			ti := combTypes[g.rng.Intn(len(combTypes))]
+			if s%regEvery == regEvery-1 {
+				ti = tDFF
+			}
+			idx := len(ckt.Cells)
+			ckt.Cells = append(ckt.Cells, circuit.Cell{
+				Name: fmt.Sprintf("d%02d_%02d", s, b), Type: ti,
+			})
+			grid[s][b] = slot{cell: idx}
+			if ti == tDFF {
+				g.dffs = append(g.dffs, idx)
+			}
+		}
+	}
+	// Placement: row b holds its bit's stages in order; feed cells
+	// interleave per FeedFrac (P1) or pile at the right end (P2).
+	maxWidth := 0
+	rowSeqs := make([][]int, bits)
+	for b := 0; b < bits; b++ {
+		var seq []int
+		for s := 0; s < stages; s++ {
+			seq = append(seq, grid[s][b].cell)
+		}
+		nFeeds := int(float64(len(seq))*g.p.FeedFrac + 0.999)
+		if nFeeds < 1 {
+			nFeeds = 1
+		}
+		mkFeed := func(k int) int {
+			idx := len(ckt.Cells)
+			ckt.Cells = append(ckt.Cells, circuit.Cell{
+				Name: fmt.Sprintf("fd%02d_%03d", b, k), Type: tFEED,
+			})
+			return idx
+		}
+		if g.p.Style == P1 {
+			step := float64(len(seq)+1) / float64(nFeeds+1)
+			for k := nFeeds - 1; k >= 0; k-- {
+				at := int(step * float64(k+1))
+				if at > len(seq) {
+					at = len(seq)
+				}
+				seq = append(seq[:at], append([]int{mkFeed(k)}, seq[at:]...)...)
+			}
+		} else {
+			for k := 0; k < nFeeds; k++ {
+				seq = append(seq, mkFeed(k))
+			}
+		}
+		rowSeqs[b] = seq
+		w := 0
+		for _, c := range seq {
+			w += ckt.Lib[ckt.Cells[c].Type].Width
+		}
+		if w > maxWidth {
+			maxWidth = w
+		}
+	}
+	ckt.Cols = maxWidth + 4
+	for b, seq := range rowSeqs {
+		col := 0
+		for _, c := range seq {
+			ckt.Cells[c].Row = b
+			ckt.Cells[c].Col = col
+			col += ckt.Lib[ckt.Cells[c].Type].Width
+		}
+	}
+
+	// Wiring. Data nets: (s,b) output -> first input of (s+1,b); with a
+	// small probability the data also taps the neighbouring bit (shuffle
+	// stages of a real datapath).
+	used := map[circuit.PinRef]bool{}
+	netFor := map[circuit.PinRef]int{}
+	mkNet := func(drv circuit.PinRef, name string) int {
+		if n, ok := netFor[drv]; ok {
+			return n
+		}
+		n := len(ckt.Nets)
+		ckt.Nets = append(ckt.Nets, circuit.Net{
+			Name: name, Pitch: 1, DiffMate: circuit.NoNet,
+			Pins: []circuit.PinRef{drv},
+		})
+		netFor[drv] = n
+		return n
+	}
+	outPin := func(cell int) circuit.PinRef {
+		ct := ckt.CellTypeOf(cell)
+		for pi := range ct.Pins {
+			if ct.Pins[pi].Dir == circuit.Out {
+				return circuit.PinRef{Cell: cell, Pin: pi}
+			}
+		}
+		panic("gen: datapath cell without output")
+	}
+	inPins := func(cell int) []circuit.PinRef {
+		var out []circuit.PinRef
+		ct := ckt.CellTypeOf(cell)
+		for pi := range ct.Pins {
+			if ct.Pins[pi].Dir == circuit.In && ct.Pins[pi].Name != "CK" {
+				out = append(out, circuit.PinRef{Cell: cell, Pin: pi})
+			}
+		}
+		return out
+	}
+	for s := 0; s+1 < stages; s++ {
+		for b := 0; b < bits; b++ {
+			drv := outPin(grid[s][b].cell)
+			n := mkNet(drv, fmt.Sprintf("dp%02d_%02d", s, b))
+			sinks := inPins(grid[s+1][b].cell)
+			ckt.Nets[n].Pins = append(ckt.Nets[n].Pins, sinks[0])
+			used[sinks[0]] = true
+			if g.rng.Float64() < 0.3 {
+				nb := (b + 1) % bits
+				nSinks := inPins(grid[s+1][nb].cell)
+				if len(nSinks) > 1 && !used[nSinks[1]] {
+					ckt.Nets[n].Pins = append(ckt.Nets[n].Pins, nSinks[1])
+					used[nSinks[1]] = true
+				}
+			}
+		}
+	}
+	// Control nets: a bottom pad per third comb stage broadcasting to
+	// every bit's last input — tall vertical nets.
+	ctl := 0
+	for s := 2; s < stages; s += 3 {
+		if s%regEvery == regEvery-1 {
+			continue
+		}
+		n := len(ckt.Nets)
+		net := circuit.Net{Name: fmt.Sprintf("ctl%02d", ctl), Pitch: 1, DiffMate: circuit.NoNet}
+		for b := 0; b < bits; b++ {
+			pins := inPins(grid[s][b].cell)
+			last := pins[len(pins)-1]
+			if !used[last] {
+				net.Pins = append(net.Pins, last)
+				used[last] = true
+			}
+		}
+		if len(net.Pins) < 2 {
+			continue
+		}
+		ckt.Nets = append(ckt.Nets, net)
+		col := ckt.Cells[grid[s][0].cell].Col
+		if col >= ckt.Cols {
+			col = ckt.Cols - 1
+		}
+		ckt.Ext = append(ckt.Ext, circuit.ExtPin{
+			Name: fmt.Sprintf("CTL%02d", ctl), Net: n, Side: circuit.Bottom,
+			Cols: dedupCols(col, min(col+3, ckt.Cols-1)), Dir: circuit.In, Tf: 0.15, Td: 0.12,
+		})
+		ctl++
+	}
+	// Primary inputs feed stage 0; primary outputs tap the last stage.
+	for b := 0; b < bits; b++ {
+		n := len(ckt.Nets)
+		piSink := inPins(grid[0][b].cell)[0]
+		used[piSink] = true
+		ckt.Nets = append(ckt.Nets, circuit.Net{
+			Name: fmt.Sprintf("pi%02d", b), Pitch: 1, DiffMate: circuit.NoNet,
+			Pins: []circuit.PinRef{piSink},
+		})
+		ckt.Ext = append(ckt.Ext, circuit.ExtPin{
+			Name: fmt.Sprintf("PI%02d", b), Net: n, Side: circuit.Bottom,
+			Cols: dedupCols(b*2%ckt.Cols, (b*2+1)%ckt.Cols), Dir: circuit.In, Tf: 0.2, Td: 0.15,
+		})
+		drv := outPin(grid[stages-1][b].cell)
+		on := mkNet(drv, fmt.Sprintf("po%02d", b))
+		ckt.Ext = append(ckt.Ext, circuit.ExtPin{
+			Name: fmt.Sprintf("PO%02d", b), Net: on, Side: circuit.Top,
+			Cols: dedupCols(ckt.Cols-1-b*2%ckt.Cols, ckt.Cols-1), Dir: circuit.Out, Fin: 30,
+		})
+	}
+	// Clock to every DFF.
+	if len(g.dffs) > 0 {
+		pitch := 1
+		if g.p.WideClock {
+			pitch = 2
+		}
+		n := len(ckt.Nets)
+		net := circuit.Net{Name: "clk", Pitch: pitch, DiffMate: circuit.NoNet}
+		for _, cell := range g.dffs {
+			ct := ckt.CellTypeOf(cell)
+			net.Pins = append(net.Pins, circuit.PinRef{Cell: cell, Pin: ct.PinIndex("CK")})
+		}
+		ckt.Nets = append(ckt.Nets, net)
+		ckt.Ext = append(ckt.Ext, circuit.ExtPin{
+			Name: "CKIN", Net: n, Side: circuit.Bottom,
+			Cols: dedupCols(ckt.Cols/2, ckt.Cols/2+3), Dir: circuit.In, Tf: 0.08, Td: 0.06,
+		})
+	}
+	g.compactNets()
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package gen
+
+import "testing"
+
+func datapathParams() Params {
+	return Params{
+		Name: "dp", Seed: 404, Cells: 160, Rows: 8,
+		FeedFrac: 0.15, WideClock: true, Constraints: 6, LimitFactor: 1.2,
+		Datapath: true,
+	}
+}
+
+func TestDatapathGenerates(t *testing.T) {
+	ckt, err := Generate(datapathParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ckt.Cons) == 0 {
+		t.Fatal("no constraints")
+	}
+	// Structure: a register rank exists and a wide clock serves it.
+	dffs, ctls := 0, 0
+	for i := range ckt.Cells {
+		if ckt.Lib[ckt.Cells[i].Type].Sequential {
+			dffs++
+		}
+	}
+	for i := range ckt.Ext {
+		if len(ckt.Ext[i].Name) >= 3 && ckt.Ext[i].Name[:3] == "CTL" {
+			ctls++
+		}
+	}
+	if dffs == 0 {
+		t.Fatal("no register ranks")
+	}
+	if ctls == 0 {
+		t.Fatal("no control broadcasts")
+	}
+	// Control nets span many rows (the vertical stress pattern).
+	sawTall := false
+	for n := range ckt.Nets {
+		if len(ckt.Nets[n].Name) >= 3 && ckt.Nets[n].Name[:3] == "ctl" {
+			minCh, maxCh := 1<<30, -1
+			for _, tr := range ckt.Terminals(n) {
+				for _, pos := range ckt.PositionsOf(tr) {
+					if pos.Channel < minCh {
+						minCh = pos.Channel
+					}
+					if pos.Channel > maxCh {
+						maxCh = pos.Channel
+					}
+				}
+			}
+			if maxCh-minCh >= ckt.Rows-1 {
+				sawTall = true
+			}
+		}
+	}
+	if !sawTall {
+		t.Fatal("no control net spans the full bit stack")
+	}
+}
+
+func TestDatapathDeterministic(t *testing.T) {
+	a, err := Generate(datapathParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(datapathParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) || len(a.Nets) != len(b.Nets) {
+		t.Fatal("datapath generation not deterministic")
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+}
+
+func TestDatapathDataFlowIsLeftToRight(t *testing.T) {
+	ckt, err := Generate(datapathParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every dp net's driver sits left of (or at) its sinks in the same or
+	// adjacent row — the pipeline property.
+	for n := range ckt.Nets {
+		name := ckt.Nets[n].Name
+		if len(name) < 2 || name[:2] != "dp" {
+			continue
+		}
+		terms := ckt.Terminals(n)
+		drv := terms[0]
+		if drv.IsExt() {
+			continue
+		}
+		dcol := ckt.Cells[drv.Cell].Col
+		for _, s := range terms[1:] {
+			if s.IsExt() {
+				continue
+			}
+			// Cross-bit taps live in rows with different column drift;
+			// the strict ordering holds within the driver's own row.
+			if ckt.Cells[s.Cell].Row != ckt.Cells[drv.Cell].Row {
+				continue
+			}
+			if ckt.Cells[s.Cell].Col < dcol {
+				t.Fatalf("net %s flows right to left", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package grid provides the chip-geometry substrate for the global router:
+// cell rows on a column grid, routing channels between rows, feedthrough
+// slots supplied by feed cells, physical coordinates, and the feed-cell
+// insertion mechanics of Harada & Kitazawa §4.3 that widen the chip to
+// guarantee complete feedthrough assignment.
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// FeedSlot is one column of feedthrough capacity in a cell row, provided by
+// a feed cell. Flag restricts which nets may use it: 0 means unrestricted,
+// w > 0 means reserved for w-pitch nets (§4.3 width flags).
+type FeedSlot struct {
+	Col  int
+	Cell int // index of the providing feed cell in the circuit
+	Flag int
+}
+
+// Geometry is the static routing geometry of a placed circuit.
+type Geometry struct {
+	Ckt *circuit.Circuit
+	// Feeds[r] lists the feedthrough slots of row r, sorted by column.
+	Feeds [][]FeedSlot
+	// occupied[r][col] marks columns of row r covered by a non-feed cell.
+	occupied [][]bool
+}
+
+// New builds the geometry of a validated circuit. Feed cells contribute one
+// feedthrough slot per pitch of width.
+func New(ckt *circuit.Circuit) (*Geometry, error) {
+	g := &Geometry{
+		Ckt:      ckt,
+		Feeds:    make([][]FeedSlot, ckt.Rows),
+		occupied: make([][]bool, ckt.Rows),
+	}
+	for r := range g.occupied {
+		g.occupied[r] = make([]bool, ckt.Cols)
+	}
+	for i := range ckt.Cells {
+		cell := &ckt.Cells[i]
+		ct := &ckt.Lib[cell.Type]
+		if ct.Feed {
+			for w := 0; w < ct.Width; w++ {
+				g.Feeds[cell.Row] = append(g.Feeds[cell.Row], FeedSlot{Col: cell.Col + w, Cell: i})
+			}
+			continue
+		}
+		for w := 0; w < ct.Width; w++ {
+			col := cell.Col + w
+			if col < 0 || col >= ckt.Cols {
+				return nil, fmt.Errorf("grid: cell %q column %d outside chip", cell.Name, col)
+			}
+			g.occupied[cell.Row][col] = true
+		}
+	}
+	for r := range g.Feeds {
+		sort.Slice(g.Feeds[r], func(i, j int) bool { return g.Feeds[r][i].Col < g.Feeds[r][j].Col })
+	}
+	return g, nil
+}
+
+// FeedSlots returns the feedthrough slots of a row, sorted by column.
+func (g *Geometry) FeedSlots(row int) []FeedSlot { return g.Feeds[row] }
+
+// SetFlag sets the width flag of the feed slot at (row, col). It reports
+// whether such a slot exists.
+func (g *Geometry) SetFlag(row, col, flag int) bool {
+	for i := range g.Feeds[row] {
+		if g.Feeds[row][i].Col == col {
+			g.Feeds[row][i].Flag = flag
+			return true
+		}
+	}
+	return false
+}
+
+// ClearFlags resets every feed-slot width flag.
+func (g *Geometry) ClearFlags() {
+	for r := range g.Feeds {
+		for i := range g.Feeds[r] {
+			g.Feeds[r][i].Flag = 0
+		}
+	}
+}
+
+// Occupied reports whether a non-feed cell covers (row, col).
+func (g *Geometry) Occupied(row, col int) bool {
+	if col < 0 || col >= g.Ckt.Cols {
+		return true
+	}
+	return g.occupied[row][col]
+}
+
+// XOf returns the physical x coordinate (µm) of a column center.
+func (g *Geometry) XOf(col int) float64 {
+	return (float64(col) + 0.5) * g.Ckt.Tech.PitchX
+}
+
+// SpanUm returns the physical length (µm) of the column interval
+// [c1, c2] measured center to center.
+func (g *Geometry) SpanUm(c1, c2 int) float64 {
+	if c2 < c1 {
+		c1, c2 = c2, c1
+	}
+	return float64(c2-c1) * g.Ckt.Tech.PitchX
+}
+
+// ChipWidthUm returns the chip width in µm.
+func (g *Geometry) ChipWidthUm() float64 {
+	return float64(g.Ckt.Cols) * g.Ckt.Tech.PitchX
+}
+
+// Channels returns the number of routing channels (rows + 1).
+func (g *Geometry) Channels() int { return g.Ckt.Channels() }
+
+// FeedGroupSpec asks for one contiguous group of feed cells of the given
+// pitch width to be inserted into a row.
+type FeedGroupSpec struct {
+	Row   int
+	Width int // number of adjacent feed cells; the group is flagged for Width-pitch nets
+}
+
+// InsertFeedCells returns a widened copy of the circuit with the requested
+// feed-cell groups inserted, plus the per-row columns of the inserted
+// groups (leftmost column of each group, in request order per row).
+//
+// Every row must receive the same total number of inserted pitches (the
+// paper's F) so that rows stay aligned; the caller pads with 1-wide groups.
+// Groups are spread "almost evenly" across each row: target positions are
+// equally spaced and each group is placed at the nearest legal gap (not
+// splitting a cell). Cells and external terminals to the right of an
+// insertion point shift right; the chip widens by F columns.
+func InsertFeedCells(ckt *circuit.Circuit, groups []FeedGroupSpec) (*circuit.Circuit, [][]int, error) {
+	perRow := make([][]int, ckt.Rows)
+	total := make([]int, ckt.Rows)
+	for _, gr := range groups {
+		if gr.Row < 0 || gr.Row >= ckt.Rows {
+			return nil, nil, fmt.Errorf("grid: insert row %d out of range", gr.Row)
+		}
+		if gr.Width < 1 {
+			return nil, nil, fmt.Errorf("grid: insert width %d < 1", gr.Width)
+		}
+		perRow[gr.Row] = append(perRow[gr.Row], gr.Width)
+		total[gr.Row] += gr.Width
+	}
+	f := 0
+	for _, t := range total {
+		if t > f {
+			f = t
+		}
+	}
+	for r, t := range total {
+		if t != f {
+			return nil, nil, fmt.Errorf("grid: row %d inserts %d pitches, others insert %d; pad with 1-wide groups", r, t, f)
+		}
+	}
+	if f == 0 {
+		return ckt.Clone(), make([][]int, ckt.Rows), nil
+	}
+
+	out := ckt.Clone()
+	feedType := feedTypeIndex(out)
+	insertedCols := make([][]int, ckt.Rows)
+
+	for r := 0; r < ckt.Rows; r++ {
+		widths := perRow[r]
+		k := len(widths)
+		if k == 0 {
+			continue
+		}
+		// Cells of this row in the widened circuit, sorted by column.
+		var rowCells []int
+		for i := range out.Cells {
+			if out.Cells[i].Row == r {
+				rowCells = append(rowCells, i)
+			}
+		}
+		sort.Slice(rowCells, func(i, j int) bool { return out.Cells[rowCells[i]].Col < out.Cells[rowCells[j]].Col })
+
+		// Choose evenly spaced target columns and snap to the nearest
+		// legal gap; process left to right so shifts accumulate simply.
+		targets := make([]int, k)
+		for i := range targets {
+			targets[i] = (i + 1) * ckt.Cols / (k + 1)
+		}
+		shift := 0
+		for gi := range widths {
+			w := widths[gi]
+			at := snapToGap(out, rowCells, targets[gi]+shift)
+			// Shift every cell of this row at or right of the insertion
+			// point (including feed cells inserted by earlier groups).
+			for _, idx := range rowCells {
+				if out.Cells[idx].Col >= at {
+					out.Cells[idx].Col += w
+				}
+			}
+			for j := 0; j < w; j++ {
+				// Index-based names stay unique even when insertion runs
+				// again on an already-widened circuit (multi-round §4.3).
+				out.Cells = append(out.Cells, circuit.Cell{
+					Name: fmt.Sprintf("_feed_%d", len(out.Cells)),
+					Type: feedType, Row: r, Col: at + j,
+				})
+				rowCells = append(rowCells, len(out.Cells)-1)
+			}
+			insertedCols[r] = append(insertedCols[r], at)
+			shift += w
+		}
+	}
+	// External terminals keep their columns valid in the wider chip; shift
+	// those beyond the old midline proportionally so they stay near their
+	// original relative location.
+	out.Cols = ckt.Cols + f
+	for i := range out.Ext {
+		for j, col := range out.Ext[i].Cols {
+			out.Ext[i].Cols[j] = col * out.Cols / ckt.Cols
+			if out.Ext[i].Cols[j] >= out.Cols {
+				out.Ext[i].Cols[j] = out.Cols - 1
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("grid: insertion produced invalid circuit: %w", err)
+	}
+	return out, insertedCols, nil
+}
+
+// feedTypeIndex finds or adds a feed cell type.
+func feedTypeIndex(ckt *circuit.Circuit) int {
+	for i := range ckt.Lib {
+		if ckt.Lib[i].Feed {
+			return i
+		}
+	}
+	ckt.Lib = append(ckt.Lib, circuit.CellType{Name: "_FEED", Width: 1, Feed: true})
+	return len(ckt.Lib) - 1
+}
+
+// snapToGap returns the smallest insertion column >= 0 nearest to target
+// that does not split a cell of the row: a column c is legal when no cell
+// spans across it (cell.Col < c < cell.Col+width). rowCells are the indices
+// of the row's cells sorted by column.
+func snapToGap(ckt *circuit.Circuit, rowCells []int, target int) int {
+	legal := func(c int) bool {
+		if c < 0 {
+			return false
+		}
+		for _, idx := range rowCells {
+			cell := &ckt.Cells[idx]
+			w := ckt.Lib[cell.Type].Width
+			if cell.Col < c && c < cell.Col+w {
+				return false
+			}
+		}
+		return true
+	}
+	if target < 0 {
+		target = 0
+	}
+	for d := 0; ; d++ {
+		if legal(target + d) {
+			return target + d
+		}
+		if target-d >= 0 && legal(target-d) {
+			return target - d
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package lowerbound computes the critical-path-delay lower bound of
+// Harada & Kitazawa Table 3: every net's wire length is assumed to be half
+// the perimeter of the bounding rectangle of its terminals, and the delay
+// model is evaluated on those lengths.
+package lowerbound
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/dgraph"
+)
+
+// NetHPWL returns the half-perimeter wire length of every net, µm.
+// Horizontal distance uses the column pitch; vertical distance counts the
+// row height per channel crossed (channel heights are unknown before
+// routing, so they are optimistically zero — it is a lower bound).
+//
+// Terminals with several candidate positions contribute the choice that
+// minimizes the bounding box: exhaustively for small nets, greedily for
+// large ones.
+func NetHPWL(ckt *circuit.Circuit) []float64 {
+	out := make([]float64, len(ckt.Nets))
+	for n := range ckt.Nets {
+		out[n] = netHPWL(ckt, n)
+	}
+	return out
+}
+
+type pos = circuit.Position
+
+func netHPWL(ckt *circuit.Circuit, n int) float64 {
+	terms := ckt.Terminals(n)
+	options := make([][]pos, len(terms))
+	combos := 1
+	for i, t := range terms {
+		options[i] = ckt.PositionsOf(t)
+		if combos <= 1<<16 {
+			combos *= len(options[i])
+		}
+	}
+	if combos <= 1<<10 {
+		return exhaustiveHPWL(ckt, options)
+	}
+	return greedyHPWL(ckt, options)
+}
+
+func boxCost(ckt *circuit.Circuit, minC, maxC, minCh, maxCh int) float64 {
+	return float64(maxC-minC)*ckt.Tech.PitchX + float64(maxCh-minCh)*ckt.Tech.RowHeight
+}
+
+func exhaustiveHPWL(ckt *circuit.Circuit, options [][]pos) float64 {
+	best := math.Inf(1)
+	choice := make([]int, len(options))
+	for {
+		minC, maxC := math.MaxInt32, math.MinInt32
+		minCh, maxCh := math.MaxInt32, math.MinInt32
+		for i, c := range choice {
+			p := options[i][c]
+			minC, maxC = min(minC, p.Col), max(maxC, p.Col)
+			minCh, maxCh = min(minCh, p.Channel), max(maxCh, p.Channel)
+		}
+		if cost := boxCost(ckt, minC, maxC, minCh, maxCh); cost < best {
+			best = cost
+		}
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(options[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return best
+		}
+	}
+}
+
+// greedyHPWL starts from every terminal's first position and iteratively
+// moves single terminals to whichever position shrinks the box.
+func greedyHPWL(ckt *circuit.Circuit, options [][]pos) float64 {
+	choice := make([]int, len(options))
+	cost := func() float64 {
+		minC, maxC := math.MaxInt32, math.MinInt32
+		minCh, maxCh := math.MaxInt32, math.MinInt32
+		for i, c := range choice {
+			p := options[i][c]
+			minC, maxC = min(minC, p.Col), max(maxC, p.Col)
+			minCh, maxCh = min(minCh, p.Channel), max(maxCh, p.Channel)
+		}
+		return boxCost(ckt, minC, maxC, minCh, maxCh)
+	}
+	best := cost()
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for i := range choice {
+			old := choice[i]
+			for c := range options[i] {
+				if c == old {
+					continue
+				}
+				choice[i] = c
+				if v := cost(); v < best {
+					best, old = v, c
+					improved = true
+				}
+			}
+			choice[i] = old
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+// Delay evaluates the timing model with HPWL wire lengths: the Table 3
+// lower bound. It returns the per-constraint critical delays and the
+// overall worst one.
+func Delay(ckt *circuit.Circuit) (perCons []float64, worst float64, err error) {
+	g, err := dgraph.New(ckt)
+	if err != nil {
+		return nil, 0, err
+	}
+	tm := g.NewTiming()
+	tm.SetLumped(NetHPWL(ckt))
+	tm.Analyze()
+	perCons = make([]float64, len(tm.Cons))
+	for p := range tm.Cons {
+		perCons[p] = tm.Cons[p].Worst
+		if perCons[p] > worst {
+			worst = perCons[p]
+		}
+	}
+	return perCons, worst, nil
+}

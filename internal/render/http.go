@@ -1,0 +1,72 @@
+package render
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+
+	"repro/internal/chanroute"
+	"repro/internal/core"
+	"repro/internal/dgraph"
+	"repro/internal/report"
+)
+
+// Handler serves an interactive view of a routed chip: the SVG drawing,
+// the timing report and slack histogram, and the ASCII layout — the
+// lightweight inspection UI of cmd/bgr-view.
+//
+// Routes:
+//
+//	/          HTML page embedding everything
+//	/chip.svg  the raw SVG
+//	/timing    plain-text timing report
+//	/layout    plain-text ASCII layout
+func Handler(res *core.Result, cr *chanroute.Result) (http.Handler, error) {
+	dg, err := dgraph.New(res.Ckt)
+	if err != nil {
+		return nil, err
+	}
+	tm := dg.NewTiming()
+	tm.SetLumped(cr.NetLenUm)
+	tm.Analyze()
+
+	svg := SVG(res, cr)
+	timing := report.TimingReport(res.Ckt, tm, 3) + "\n" + report.SlackHistogram(res.Ckt, tm, 8)
+	layout := Layout(res)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/chip.svg", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, svg)
+	})
+	mux.HandleFunc("/timing", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, timing)
+	})
+	mux.HandleFunc("/layout", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, layout)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><title>%s — routed</title>
+<style>body{font-family:monospace;margin:2em}pre{background:#f6f6f6;padding:1em;overflow:auto}</style>
+</head><body>
+<h1>%s</h1>
+<p>%d nets, %d constraints, chip %.0f µm × %.0f µm (%.3f mm²)</p>
+<object data="/chip.svg" type="image/svg+xml" style="width:100%%;border:1px solid #ccc"></object>
+<h2>Timing</h2><pre>%s</pre>
+<h2>Layout</h2><pre>%s</pre>
+</body></html>`,
+			html.EscapeString(res.Ckt.Name), html.EscapeString(res.Ckt.Name),
+			len(res.Ckt.Nets), len(res.Ckt.Cons),
+			cr.WidthUm, cr.HeightUm, cr.AreaMm2,
+			html.EscapeString(timing), html.EscapeString(layout))
+	})
+	return mux, nil
+}

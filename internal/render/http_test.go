@@ -1,0 +1,73 @@
+package render
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/chanroute"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+func testHandler(t *testing.T) http.Handler {
+	t.Helper()
+	res, err := core.Route(circuit.SampleSmall(), core.Config{UseConstraints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := chanroute.Route(res.Ckt, res.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Handler(res, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, rec.Header().Get("Content-Type"), string(body)
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	h := testHandler(t)
+
+	code, ctype, body := get(t, h, "/")
+	if code != 200 || !strings.Contains(ctype, "text/html") {
+		t.Fatalf("/: code %d type %s", code, ctype)
+	}
+	for _, want := range []string{"sample-small", "Timing", "Layout", "chip.svg"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+
+	code, ctype, body = get(t, h, "/chip.svg")
+	if code != 200 || !strings.Contains(ctype, "svg") || !strings.HasPrefix(body, "<svg") {
+		t.Fatalf("/chip.svg: code %d type %s", code, ctype)
+	}
+
+	code, _, body = get(t, h, "/timing")
+	if code != 200 || !strings.Contains(body, "Timing report") || !strings.Contains(body, "Slack histogram") {
+		t.Fatalf("/timing wrong: %d\n%s", code, body)
+	}
+
+	code, _, body = get(t, h, "/layout")
+	if code != 200 || !strings.Contains(body, "layout sample-small") {
+		t.Fatalf("/layout wrong: %d", code)
+	}
+
+	code, _, _ = get(t, h, "/nonsense")
+	if code != 404 {
+		t.Fatalf("/nonsense: code %d, want 404", code)
+	}
+}

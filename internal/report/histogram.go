@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/dgraph"
+)
+
+// SlackHistogram draws a text histogram of constraint margins — the view
+// a timing engineer scans first. Buckets are sized to cover the observed
+// margin range in `bins` equal steps; violations (negative margins) are
+// marked.
+func SlackHistogram(ckt *circuit.Circuit, tm *dgraph.Timing, bins int) string {
+	if bins < 1 {
+		bins = 8
+	}
+	margins := make([]float64, 0, len(tm.Cons))
+	for p := range tm.Cons {
+		margins = append(margins, tm.Cons[p].Margin)
+	}
+	var b strings.Builder
+	if len(margins) == 0 {
+		b.WriteString("Slack histogram: no constraints\n")
+		return b.String()
+	}
+	lo, hi := margins[0], margins[0]
+	for _, m := range margins {
+		lo = math.Min(lo, m)
+		hi = math.Max(hi, m)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(bins)
+	counts := make([]int, bins)
+	for _, m := range margins {
+		i := int((m - lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	sort.Float64s(margins)
+	fmt.Fprintf(&b, "Slack histogram: %d constraints, margins %.1f .. %.1f ps (median %.1f)\n",
+		len(margins), lo, hi, margins[len(margins)/2])
+	for i := 0; i < bins; i++ {
+		a, z := lo+float64(i)*width, lo+float64(i+1)*width
+		mark := " "
+		if z <= 0 {
+			mark = "!" // whole bucket violating
+		} else if a < 0 {
+			mark = "~" // bucket straddles zero
+		}
+		fmt.Fprintf(&b, "%s [%8.1f, %8.1f) %-3d %s\n", mark, a, z, counts[i], strings.Repeat("#", counts[i]))
+	}
+	return b.String()
+}

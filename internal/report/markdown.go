@@ -1,0 +1,41 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// Markdown renders Tables 1-3 and the headline as GitHub-flavored
+// markdown — the exact content EXPERIMENTS.md records, regenerable.
+func Markdown(rows []*experiment.Row) string {
+	var b strings.Builder
+	b.WriteString("## Table 1 — test circuits\n\n")
+	b.WriteString("| Data | Circuit | Placement | cells | nets | consts. |\n")
+	b.WriteString("|------|---------|-----------|-------|------|---------|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %d |\n",
+			r.Name, r.Name[:2], r.Name[2:], r.Cells, r.Nets, r.Cons)
+	}
+	b.WriteString("\n## Table 2 — routing results\n\n")
+	b.WriteString("| Data | Delay con (ps) | Delay unc (ps) | Δ% | Area con (mm²) | Area unc (mm²) | Len con (mm) | CPU con (s) |\n")
+	b.WriteString("|------|------------|------------|-----|------------|------------|----------|---------|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %.1f | %.1f | %.1f%% | %.3f | %.3f | %.1f | %.2f |\n",
+			r.Name, r.Con.DelayPs, r.Unc.DelayPs, r.DelayImprovementPct(),
+			r.Con.AreaMm2, r.Unc.AreaMm2, r.Con.LengthMm, r.Con.CPUSec)
+	}
+	b.WriteString("\n## Table 3 — difference from the lower bound\n\n")
+	b.WriteString("| Data | lower bound (ps) | Constrained (%) | Unconstrained (%) |\n")
+	b.WriteString("|------|-------------|--------------|----------------|\n")
+	for _, r := range rows {
+		con, unc := r.DiffPct()
+		fmt.Fprintf(&b, "| %s | %.1f | %+.1f | %+.1f |\n", r.Name, r.LowerBoundPs, con, unc)
+	}
+	h := experiment.Summarize(rows)
+	fmt.Fprintf(&b, "\nHeadline: average delay reduction **%.1f%% of the lower bound** (paper: 17.6%%); ", h.AvgReductionOfLB)
+	fmt.Fprintf(&b, "improvement range %.2f%%–%.2f%% (paper: 0.56%%–23.5%%); ", h.MinImprovementPct, h.MaxImprovementPct)
+	fmt.Fprintf(&b, "area change %+.2f%% (paper: almost unchanged).\n", h.AreaChangeAvgPct)
+	return b.String()
+}

@@ -1,0 +1,172 @@
+// Package report renders the paper's tables (1-3) and ASCII versions of
+// its concept figures (1, 3, 4) from experiment results.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/dgraph"
+	"repro/internal/experiment"
+	"repro/internal/rgraph"
+)
+
+// Table1 renders the test-circuit data table.
+func Table1(rows []*experiment.Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Test bipolar circuits (synthesized).\n")
+	fmt.Fprintf(&b, "%-6s %-8s %-10s %8s %8s %8s\n", "Data", "Circuit", "Placement", "cells", "nets", "consts.")
+	for _, r := range rows {
+		circuitName, placement := r.Name[:2], r.Name[2:]
+		fmt.Fprintf(&b, "%-6s %-8s %-10s %8d %8d %8d\n",
+			r.Name, circuitName, placement, r.Cells, r.Nets, r.Cons)
+	}
+	return b.String()
+}
+
+// Table2 renders the routing results, constrained block then
+// unconstrained, mirroring the paper.
+func Table2(rows []*experiment.Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Experimental results.\n")
+	block := func(title string, pick func(*experiment.Row) experiment.Run) {
+		fmt.Fprintf(&b, "-- Routing results %s --\n", title)
+		fmt.Fprintf(&b, "%-6s %10s %10s %10s %9s\n", "Data", "Delay(ps)", "Area(mm2)", "Len(mm)", "CPU(s)")
+		for _, r := range rows {
+			run := pick(r)
+			fmt.Fprintf(&b, "%-6s %10.1f %10.3f %10.2f %9.3f\n",
+				r.Name, run.DelayPs, run.AreaMm2, run.LengthMm, run.CPUSec)
+		}
+	}
+	block("with constraints", func(r *experiment.Row) experiment.Run { return r.Con })
+	block("without constraints", func(r *experiment.Row) experiment.Run { return r.Unc })
+	return b.String()
+}
+
+// Table3 renders the difference-from-lower-bound table.
+func Table3(rows []*experiment.Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Difference from the lower bound.\n")
+	fmt.Fprintf(&b, "%-6s %12s %14s %14s\n", "Data", "lower(ps)", "Constrained(%)", "Unconstr.(%)")
+	for _, r := range rows {
+		con, unc := r.DiffPct()
+		fmt.Fprintf(&b, "%-6s %12.1f %14.1f %14.1f\n", r.Name, r.LowerBoundPs, con, unc)
+	}
+	return b.String()
+}
+
+// HeadlineText renders the paper's summary statistics next to the paper's
+// own numbers.
+func HeadlineText(h experiment.Headline, nRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Headline statistics (paper values in brackets):\n")
+	fmt.Fprintf(&b, "  average delay reduction: %.1f%% of the lower bound   [17.6%%]\n", h.AvgReductionOfLB)
+	fmt.Fprintf(&b, "  delay improvement range: %.2f%% .. %.2f%%            [0.56%% .. 23.5%%]\n",
+		h.MinImprovementPct, h.MaxImprovementPct)
+	fmt.Fprintf(&b, "  constrained delay vs lower bound: avg +%.1f%%        [< 10%%]\n", h.AvgConDiffFromLB)
+	fmt.Fprintf(&b, "  unconstrained delay vs lower bound: avg +%.1f%%\n", h.AvgUncDiffFromLB)
+	fmt.Fprintf(&b, "  area change constrained vs not: %+.2f%%              [almost unchanged]\n", h.AreaChangeAvgPct)
+	fmt.Fprintf(&b, "  rows with con diff < 10%% or < half of unc: %d/%d\n", h.HalfOrTenSatisfied, nRows)
+	return b.String()
+}
+
+// Fig1DelayGraph dumps the global delay graph with its arc delays — an
+// ASCII rendering of the paper's Fig. 1 delay model.
+func Fig1DelayGraph(ckt *circuit.Circuit, wirelenUm []float64) (string, error) {
+	g, err := dgraph.New(ckt)
+	if err != nil {
+		return "", err
+	}
+	tm := g.NewTiming()
+	if wirelenUm == nil {
+		wirelenUm = make([]float64, len(ckt.Nets))
+	}
+	tm.SetLumped(wirelenUm)
+	tm.Analyze()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1: global delay graph G_D of %s (arc delays, ps)\n", ckt.Name)
+	for a := range g.Arcs {
+		arc := &g.Arcs[a]
+		from, to := ckt.PinName(g.Verts[arc.From]), ckt.PinName(g.Verts[arc.To])
+		kind := "cell"
+		if arc.Net != dgraph.NoNet {
+			kind = "net " + ckt.Nets[arc.Net].Name
+		}
+		fmt.Fprintf(&b, "  %-12s -> %-12s %8.2f  (%s)\n", from, to, tm.ArcDelay[a], kind)
+	}
+	for p := range tm.Cons {
+		fmt.Fprintf(&b, "  constraint %s: critical %.2f ps, limit %.2f ps, margin %.2f ps\n",
+			ckt.Cons[p].Name, tm.Cons[p].Worst, ckt.Cons[p].Limit, tm.Cons[p].Margin)
+	}
+	return b.String(), nil
+}
+
+// Fig3RoutingGraph dumps a net's routing graph Gr(n) — an ASCII rendering
+// of the paper's Fig. 3.
+func Fig3RoutingGraph(ckt *circuit.Circuit, g *rgraph.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3: routing graph Gr(%s): %d vertices, %d edges (%d alive)\n",
+		ckt.Nets[g.Net].Name, len(g.Verts), len(g.Edges), g.AliveCount())
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		status := "alive"
+		if !e.Alive {
+			status = "deleted"
+		} else if e.Bridge {
+			status = "bridge"
+		}
+		fmt.Fprintf(&b, "  e%-3d %-6s ch=%d x=[%d,%d] len=%6.1f  %s\n",
+			i, e.Kind, e.Ch, e.X1, e.X2, e.Len, status)
+	}
+	return b.String()
+}
+
+// Fig4DensityChart draws a channel's d_M / d_m profiles — an ASCII
+// rendering of the paper's Fig. 4. '#' marks the bridge (lower-bound)
+// density d_m, '+' the extra density up to d_M.
+func Fig4DensityChart(dens *density.State, ch int) string {
+	dM := dens.ProfileM(ch)
+	dm := dens.Profilem(ch)
+	st := dens.Channel(ch)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4: channel %d density (C_M=%d NC_M=%d C_m=%d NC_m=%d)\n",
+		ch, st.CM, st.NCM, st.Cm, st.NCm)
+	for level := st.CM; level >= 1; level-- {
+		fmt.Fprintf(&b, "%3d |", level)
+		for x := range dM {
+			switch {
+			case dm[x] >= level:
+				b.WriteByte('#')
+			case dM[x] >= level:
+				b.WriteByte('+')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "    +%s\n", strings.Repeat("-", len(dM)))
+	return b.String()
+}
+
+// CongestionTable lists every channel's §3.3 parameters plus its final
+// track usage — the area story per channel.
+func CongestionTable(dens *density.State, tracks []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Channel congestion:\n")
+	fmt.Fprintf(&b, "%-8s %6s %6s %6s %6s %8s\n", "channel", "C_M", "NC_M", "C_m", "NC_m", "tracks")
+	total := 0
+	for ch := 0; ch < dens.Channels(); ch++ {
+		st := dens.Channel(ch)
+		tr := st.CM
+		if ch < len(tracks) {
+			tr = tracks[ch]
+		}
+		total += tr
+		fmt.Fprintf(&b, "%-8d %6d %6d %6d %6d %8d\n", ch, st.CM, st.NCM, st.Cm, st.NCm, tr)
+	}
+	fmt.Fprintf(&b, "%-8s %35s %8d\n", "total", "", total)
+	return b.String()
+}

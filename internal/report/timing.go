@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/dgraph"
+)
+
+// TimingReport renders an STA-style report: every constraint with its
+// limit, critical delay and margin (worst first), and for the worst
+// `paths` constraints the full critical path with per-arc arrival times.
+func TimingReport(ckt *circuit.Circuit, tm *dgraph.Timing, paths int) string {
+	var b strings.Builder
+	order := make([]int, len(tm.Cons))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, c int) bool {
+		return tm.Cons[order[a]].Margin < tm.Cons[order[c]].Margin
+	})
+	fmt.Fprintf(&b, "Timing report: %d constraints\n", len(tm.Cons))
+	fmt.Fprintf(&b, "%-6s %10s %10s %10s  %s\n", "Cons", "limit(ps)", "delay(ps)", "margin", "status")
+	for _, p := range order {
+		status := "MET"
+		if tm.Cons[p].Margin < 0 {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "%-6s %10.1f %10.1f %10.1f  %s\n",
+			ckt.Cons[p].Name, ckt.Cons[p].Limit, tm.Cons[p].Worst, tm.Cons[p].Margin, status)
+	}
+	for i, p := range order {
+		if i >= paths {
+			break
+		}
+		b.WriteString(pathText(ckt, tm, p))
+	}
+	return b.String()
+}
+
+func pathText(ckt *circuit.Circuit, tm *dgraph.Timing, p int) string {
+	var b strings.Builder
+	arcs := tm.CriticalPath(p)
+	fmt.Fprintf(&b, "\nCritical path of %s (%d arcs):\n", ckt.Cons[p].Name, len(arcs))
+	if len(arcs) == 0 {
+		fmt.Fprintf(&b, "  (no path)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-14s %10s %10s  %s\n", "point", "incr(ps)", "arrive(ps)", "via")
+	first := tm.G.Arcs[arcs[0]].From
+	fmt.Fprintf(&b, "  %-14s %10s %10.1f  (source)\n", ckt.PinName(tm.G.Verts[first]), "-", 0.0)
+	arrive := 0.0
+	for _, a := range arcs {
+		arc := &tm.G.Arcs[a]
+		arrive += tm.ArcDelay[a]
+		via := "cell arc"
+		if arc.Net != dgraph.NoNet {
+			via = "net " + ckt.Nets[arc.Net].Name
+		}
+		fmt.Fprintf(&b, "  %-14s %10.2f %10.1f  %s\n",
+			ckt.PinName(tm.G.Verts[arc.To]), tm.ArcDelay[a], arrive, via)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/dgraph"
+)
+
+func TestTimingReport(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	g, err := dgraph.New(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := g.NewTiming()
+	wl := make([]float64, len(ckt.Nets))
+	for i := range wl {
+		wl[i] = 200
+	}
+	tm.SetLumped(wl)
+	tm.Analyze()
+	s := TimingReport(ckt, tm, 1)
+	for _, want := range []string{"Timing report", "P0", "limit(ps)", "Critical path of P0", "(source)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	// The path must end at the constraint sink d0.D.
+	if !strings.Contains(s, "d0.D") {
+		t.Errorf("critical path does not reach d0.D:\n%s", s)
+	}
+	// Status column present.
+	if !strings.Contains(s, "MET") && !strings.Contains(s, "VIOLATED") {
+		t.Errorf("no status column:\n%s", s)
+	}
+}
+
+func TestTimingReportWorstFirst(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	// Add a second, trivially met constraint; the violated/tighter one
+	// must come first in the listing.
+	ckt.Cons = append(ckt.Cons, circuit.Constraint{
+		Name: "PZ", Limit: 1e9,
+		From: ckt.Cons[0].From, To: ckt.Cons[0].To,
+	})
+	g, err := dgraph.New(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := g.NewTiming()
+	tm.SetLumped(make([]float64, len(ckt.Nets)))
+	tm.Analyze()
+	s := TimingReport(ckt, tm, 0)
+	if strings.Index(s, "P0 ") > strings.Index(s, "PZ ") {
+		t.Fatalf("constraints not sorted by margin:\n%s", s)
+	}
+}
+
+func TestSlackHistogram(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	// A met constraint plus a violated one.
+	ckt.Cons = append(ckt.Cons, circuit.Constraint{
+		Name: "PT", Limit: 1, From: ckt.Cons[0].From, To: ckt.Cons[0].To,
+	})
+	g, err := dgraph.New(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := g.NewTiming()
+	tm.SetLumped(make([]float64, len(ckt.Nets)))
+	tm.Analyze()
+	s := SlackHistogram(ckt, tm, 4)
+	if !strings.Contains(s, "2 constraints") {
+		t.Fatalf("header wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Fatalf("no bars:\n%s", s)
+	}
+	if !strings.Contains(s, "!") && !strings.Contains(s, "~") {
+		t.Fatalf("violation marker missing:\n%s", s)
+	}
+	// Degenerate: no constraints.
+	empty := SlackHistogram(&circuit.Circuit{}, &dgraph.Timing{}, 4)
+	if !strings.Contains(empty, "no constraints") {
+		t.Fatalf("empty case wrong: %s", empty)
+	}
+}

@@ -1,0 +1,499 @@
+// Package rgraph builds and manipulates the per-net routing graphs Gr(n)
+// of Harada & Kitazawa §3.1 (Fig. 3).
+//
+// Vertices are the net's circuit terminals, their candidate physical
+// positions, and channel spine points (feedthrough endpoints and wire
+// branching points). Edges are zero-weight correspondence edges (terminal →
+// position), branch edges (position → spine jog), trunk edges (horizontal
+// channel runs), and feedthrough edges (vertical runs through a cell row).
+//
+// The interconnection wiring of the net is found by deleting non-bridge
+// edges until the graph is a tree; bridges (edges whose deletion would
+// disconnect the graph) are never deleted, and dangling non-terminal stubs
+// exposed by a deletion are pruned automatically.
+//
+// Equivalent positions of one terminal are modeled as internally shorted
+// (zero-weight correspondence edges through the terminal vertex), matching
+// the physical reality of multi-tap ECL outputs: the final tree may connect
+// through a terminal using two of its positions.
+package rgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/grid"
+)
+
+// VKind classifies vertices.
+type VKind int
+
+const (
+	// VTerm is a circuit terminal (cell pin or external terminal).
+	VTerm VKind = iota
+	// VPos is a candidate physical position of a terminal.
+	VPos
+	// VSpine is a point on a channel spine: a trunk junction, feedthrough
+	// endpoint, or wire branching point.
+	VSpine
+)
+
+// EKind classifies edges.
+type EKind int
+
+const (
+	// ECorr is a zero-weight correspondence edge between a terminal and
+	// one of its candidate positions.
+	ECorr EKind = iota
+	// EBranch is the jog from a pin position to the channel spine.
+	EBranch
+	// ETrunk is a horizontal run along a channel.
+	ETrunk
+	// EFeed is a vertical feedthrough run through a cell row.
+	EFeed
+)
+
+func (k EKind) String() string {
+	switch k {
+	case ECorr:
+		return "corr"
+	case EBranch:
+		return "branch"
+	case ETrunk:
+		return "trunk"
+	case EFeed:
+		return "feed"
+	}
+	return "?"
+}
+
+// Vertex is one routing-graph vertex.
+type Vertex struct {
+	Kind VKind
+	Term int // terminal index within the net (driver first) for VTerm/VPos
+	Ch   int // channel for VPos/VSpine (for VTerm: channel of its positions)
+	Col  int // column for VPos/VSpine
+}
+
+// Edge is one routing-graph edge.
+type Edge struct {
+	U, V   int
+	Kind   EKind
+	Ch     int // channel of trunk/branch/corr edges; row of feed edges
+	X1, X2 int // column interval (X1 <= X2); equal for vertical edges
+	Len    float64
+	Alive  bool
+	Bridge bool
+}
+
+// FeedPos is an assigned feedthrough: the net crosses cell row Row at
+// column Col.
+type FeedPos struct {
+	Row, Col int
+}
+
+// Graph is the routing graph of one net.
+type Graph struct {
+	Net   int
+	Pitch int
+
+	Verts []Vertex
+	Edges []Edge
+	adj   [][]int // edge ids per vertex (dead edges included; filter on Alive)
+
+	// TermVert[i] is the vertex of terminal i (driver first, as returned
+	// by circuit.Terminals).
+	TermVert []int
+
+	alive int // count of alive edges
+}
+
+// Build constructs Gr(n) for a net given its assigned feedthroughs. The
+// feedthrough list must cover every row between the lowest and highest
+// channel the net's terminals touch.
+func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (*Graph, error) {
+	terms := ckt.Terminals(net)
+	if len(terms) < 2 {
+		return nil, fmt.Errorf("rgraph: net %q has %d terminals", ckt.Nets[net].Name, len(terms))
+	}
+	g := &Graph{Net: net, Pitch: ckt.Nets[net].Pitch}
+
+	// Collect spine columns per channel: every terminal position column
+	// and both endpoints of every feedthrough.
+	spineCols := map[int]map[int]bool{} // channel -> set of columns
+	addSpine := func(ch, col int) {
+		if spineCols[ch] == nil {
+			spineCols[ch] = map[int]bool{}
+		}
+		spineCols[ch][col] = true
+	}
+	minCh, maxCh := math.MaxInt32, -1
+	for _, t := range terms {
+		for _, pos := range ckt.PositionsOf(t) {
+			addSpine(pos.Channel, pos.Col)
+			if pos.Channel < minCh {
+				minCh = pos.Channel
+			}
+			if pos.Channel > maxCh {
+				maxCh = pos.Channel
+			}
+		}
+	}
+	covered := map[int]bool{}
+	for _, f := range feeds {
+		if f.Row < 0 || f.Row >= ckt.Rows {
+			return nil, fmt.Errorf("rgraph: net %q feedthrough row %d out of range", ckt.Nets[net].Name, f.Row)
+		}
+		addSpine(f.Row, f.Col)
+		addSpine(f.Row+1, f.Col)
+		covered[f.Row] = true
+	}
+	for r := minCh; r < maxCh; r++ {
+		if !covered[r] {
+			return nil, fmt.Errorf("rgraph: net %q crosses row %d but has no feedthrough there", ckt.Nets[net].Name, r)
+		}
+	}
+
+	// Spine vertices and trunk edges.
+	spineVert := map[[2]int]int{} // (channel, col) -> vertex
+	channels := make([]int, 0, len(spineCols))
+	for ch := range spineCols {
+		channels = append(channels, ch)
+	}
+	sort.Ints(channels)
+	for _, ch := range channels {
+		cols := make([]int, 0, len(spineCols[ch]))
+		for col := range spineCols[ch] {
+			cols = append(cols, col)
+		}
+		sort.Ints(cols)
+		for i, col := range cols {
+			v := g.addVertex(Vertex{Kind: VSpine, Term: -1, Ch: ch, Col: col})
+			spineVert[[2]int{ch, col}] = v
+			if i > 0 {
+				prev := cols[i-1]
+				g.addEdge(Edge{
+					U: spineVert[[2]int{ch, prev}], V: v, Kind: ETrunk, Ch: ch,
+					X1: prev, X2: col, Len: geo.SpanUm(prev, col),
+				})
+			}
+		}
+	}
+	// Feedthrough edges.
+	for _, f := range feeds {
+		u := spineVert[[2]int{f.Row, f.Col}]
+		v := spineVert[[2]int{f.Row + 1, f.Col}]
+		g.addEdge(Edge{
+			U: u, V: v, Kind: EFeed, Ch: f.Row,
+			X1: f.Col, X2: f.Col, Len: ckt.Tech.RowHeight,
+		})
+	}
+	// Terminal, position vertices; correspondence and branch edges.
+	for ti, t := range terms {
+		positions := ckt.PositionsOf(t)
+		tv := g.addVertex(Vertex{Kind: VTerm, Term: ti, Ch: positions[0].Channel, Col: positions[0].Col})
+		g.TermVert = append(g.TermVert, tv)
+		for _, pos := range positions {
+			pv := g.addVertex(Vertex{Kind: VPos, Term: ti, Ch: pos.Channel, Col: pos.Col})
+			g.addEdge(Edge{U: tv, V: pv, Kind: ECorr, Ch: pos.Channel, X1: pos.Col, X2: pos.Col, Len: 0})
+			sv := spineVert[[2]int{pos.Channel, pos.Col}]
+			g.addEdge(Edge{U: pv, V: sv, Kind: EBranch, Ch: pos.Channel, X1: pos.Col, X2: pos.Col, Len: ckt.Tech.BranchLen})
+		}
+	}
+	if !g.connectedFromAlive() {
+		return nil, fmt.Errorf("rgraph: net %q routing graph is disconnected", ckt.Nets[net].Name)
+	}
+	g.RecomputeBridges()
+	g.Prune(nil)
+	return g, nil
+}
+
+func (g *Graph) addVertex(v Vertex) int {
+	g.Verts = append(g.Verts, v)
+	g.adj = append(g.adj, nil)
+	return len(g.Verts) - 1
+}
+
+func (g *Graph) addEdge(e Edge) int {
+	if e.X2 < e.X1 {
+		e.X1, e.X2 = e.X2, e.X1
+	}
+	e.Alive = true
+	id := len(g.Edges)
+	g.Edges = append(g.Edges, e)
+	g.adj[e.U] = append(g.adj[e.U], id)
+	g.adj[e.V] = append(g.adj[e.V], id)
+	g.alive++
+	return id
+}
+
+// Clone deep-copies the graph (used by ECO re-optimization so the new
+// routing can diverge without touching the old result).
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{Net: g.Net, Pitch: g.Pitch, alive: g.alive}
+	ng.Verts = append([]Vertex(nil), g.Verts...)
+	ng.Edges = append([]Edge(nil), g.Edges...)
+	ng.TermVert = append([]int(nil), g.TermVert...)
+	ng.adj = make([][]int, len(g.adj))
+	for v := range g.adj {
+		ng.adj[v] = append([]int(nil), g.adj[v]...)
+	}
+	return ng
+}
+
+// AliveEdges returns the ids of all alive edges.
+func (g *Graph) AliveEdges() []int {
+	out := make([]int, 0, g.alive)
+	for i := range g.Edges {
+		if g.Edges[i].Alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NonBridges returns the ids of alive non-bridge edges: the deletion
+// candidates N_b of the paper's initial routing loop.
+func (g *Graph) NonBridges() []int {
+	var out []int
+	for i := range g.Edges {
+		if g.Edges[i].Alive && !g.Edges[i].Bridge {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AliveCount returns the number of alive edges.
+func (g *Graph) AliveCount() int { return g.alive }
+
+func (g *Graph) other(e, v int) int {
+	if g.Edges[e].U == v {
+		return g.Edges[e].V
+	}
+	return g.Edges[e].U
+}
+
+func (g *Graph) degree(v int) int {
+	d := 0
+	for _, e := range g.adj[v] {
+		if g.Edges[e].Alive {
+			d++
+		}
+	}
+	return d
+}
+
+func (g *Graph) connectedFromAlive() bool {
+	start := -1
+	need := 0
+	touched := make([]bool, len(g.Verts))
+	for i := range g.Edges {
+		if g.Edges[i].Alive {
+			touched[g.Edges[i].U] = true
+			touched[g.Edges[i].V] = true
+		}
+	}
+	for v := range g.Verts {
+		if touched[v] || g.Verts[v].Kind == VTerm {
+			need++
+			if start == -1 {
+				start = v
+			}
+		}
+	}
+	if start == -1 {
+		return true
+	}
+	seen := make([]bool, len(g.Verts))
+	seen[start] = true
+	count := 1
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !g.Edges[e].Alive {
+				continue
+			}
+			w := g.other(e, v)
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == need
+}
+
+// RecomputeBridges runs a DFS lowlink pass over the alive edges and updates
+// every edge's Bridge flag. It returns the ids of edges whose flag flipped,
+// so the caller can update the d_m density profile incrementally.
+func (g *Graph) RecomputeBridges() (flipped []int) {
+	n := len(g.Verts)
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	newBridge := make([]bool, len(g.Edges))
+	timer := 0
+
+	type frame struct {
+		v, parentEdge int
+		idx           int
+	}
+	var stack []frame
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		stack = append(stack[:0], frame{v: s, parentEdge: -1})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(g.adj[f.v]) {
+				e := g.adj[f.v][f.idx]
+				f.idx++
+				if !g.Edges[e].Alive || e == f.parentEdge {
+					continue
+				}
+				w := g.other(e, f.v)
+				if disc[w] == -1 {
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, frame{v: w, parentEdge: e})
+				} else if disc[w] < low[f.v] {
+					low[f.v] = disc[w]
+				}
+				continue
+			}
+			// Pop: propagate lowlink to parent and classify the edge.
+			fin := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if fin.parentEdge >= 0 {
+				p := &stack[len(stack)-1]
+				if low[fin.v] < low[p.v] {
+					low[p.v] = low[fin.v]
+				}
+				if low[fin.v] > disc[p.v] {
+					newBridge[fin.parentEdge] = true
+				}
+			}
+		}
+	}
+	for i := range g.Edges {
+		if !g.Edges[i].Alive {
+			continue
+		}
+		if g.Edges[i].Bridge != newBridge[i] {
+			g.Edges[i].Bridge = newBridge[i]
+			flipped = append(flipped, i)
+		}
+	}
+	return flipped
+}
+
+// Delete kills a non-bridge edge and prunes any dangling non-terminal stubs
+// it exposes. It returns every edge removed (the edge itself first). The
+// caller is responsible for recomputing bridges afterwards.
+func (g *Graph) Delete(e int) ([]int, error) {
+	if e < 0 || e >= len(g.Edges) {
+		return nil, fmt.Errorf("rgraph: edge %d out of range", e)
+	}
+	if !g.Edges[e].Alive {
+		return nil, fmt.Errorf("rgraph: edge %d already deleted", e)
+	}
+	if g.Edges[e].Bridge {
+		return nil, fmt.Errorf("rgraph: edge %d is a bridge", e)
+	}
+	g.Edges[e].Alive = false
+	g.alive--
+	removed := []int{e}
+	removed = g.Prune(removed)
+	return removed, nil
+}
+
+// Prune repeatedly removes edges incident to degree-1 non-terminal
+// vertices (dangling stubs that cannot carry any connection). Removed edge
+// ids are appended to acc, which is returned.
+func (g *Graph) Prune(acc []int) []int {
+	queue := make([]int, 0, 8)
+	for v := range g.Verts {
+		if g.Verts[v].Kind != VTerm && g.degree(v) == 1 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if g.Verts[v].Kind == VTerm || g.degree(v) != 1 {
+			continue
+		}
+		for _, e := range g.adj[v] {
+			if !g.Edges[e].Alive {
+				continue
+			}
+			g.Edges[e].Alive = false
+			g.alive--
+			acc = append(acc, e)
+			w := g.other(e, v)
+			if g.Verts[w].Kind != VTerm && g.degree(w) == 1 {
+				queue = append(queue, w)
+			}
+			break
+		}
+	}
+	return acc
+}
+
+// IsTree reports whether the alive graph is a tree over its touched
+// vertices (the initial-routing termination condition: no cycles left).
+func (g *Graph) IsTree() bool {
+	return len(g.NonBridges()) == 0
+}
+
+// Validate checks internal invariants; used by tests and the router's
+// debug mode.
+func (g *Graph) Validate() error {
+	count := 0
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Alive {
+			count++
+		}
+		if e.X2 < e.X1 {
+			return fmt.Errorf("rgraph: edge %d interval reversed", i)
+		}
+		if e.Kind == ETrunk && e.X1 == e.X2 {
+			return fmt.Errorf("rgraph: trunk edge %d has zero extent", i)
+		}
+		if e.Kind != ETrunk && e.Kind != EFeed && e.U == e.V {
+			return fmt.Errorf("rgraph: edge %d is a self loop", i)
+		}
+	}
+	if count != g.alive {
+		return fmt.Errorf("rgraph: alive count %d != actual %d", g.alive, count)
+	}
+	if !g.connectedFromAlive() {
+		return fmt.Errorf("rgraph: graph disconnected")
+	}
+	for _, tv := range g.TermVert {
+		if g.degree(tv) == 0 {
+			return fmt.Errorf("rgraph: terminal vertex %d isolated", tv)
+		}
+	}
+	// Prune invariant: no dangling non-terminal stubs survive an edit.
+	for v := range g.Verts {
+		if g.Verts[v].Kind != VTerm && g.degree(v) == 1 {
+			return fmt.Errorf("rgraph: non-terminal vertex %d dangles (prune missed it)", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package rgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/grid"
+)
+
+func TestSkewZeroResistance(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	geo, _ := grid.New(ckt)
+	g, err := Build(ckt, geo, 1, feedsFor(t, ckt, geo, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := g.Tentative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := g.SkewPs(tree, ckt, 0); s != 0 {
+		t.Fatalf("zero resistance must give zero skew, got %v", s)
+	}
+}
+
+func TestSkewScalesWithResistance(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	geo, _ := grid.New(ckt)
+	g, err := Build(ckt, geo, 1, feedsFor(t, ckt, geo, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := g.Tentative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := g.SkewPs(tree, ckt, 0.001)
+	s2 := g.SkewPs(tree, ckt, 0.002)
+	if s1 <= 0 {
+		t.Fatal("multi-sink net must have positive skew")
+	}
+	// Elmore is linear in R: doubling r doubles the skew.
+	if diff := s2 - 2*s1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("skew not linear in r: %v vs 2x%v", s2, s1)
+	}
+}
+
+func TestSkewTwoPinEqualsZeroSpread(t *testing.T) {
+	ckt := circuit.SampleDiff()
+	geo, _ := grid.New(ckt)
+	g, err := Build(ckt, geo, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := g.Tentative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sink: spread of a single value is zero.
+	if s := g.SkewPs(tree, ckt, 0.001); s != 0 {
+		t.Fatalf("single-sink skew = %v, want 0", s)
+	}
+}
+
+// TestElmoreMonotoneInR: per-sink Elmore delays never decrease as the
+// wire resistance grows (property over random deletion states).
+func TestElmoreMonotoneInR(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	f := func(seed int64) bool {
+		geo, _ := grid.New(ckt)
+		g, err := Build(ckt, geo, 1, feedsFor(t, ckt, geo, 1))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2; i++ {
+			nb := g.NonBridges()
+			if len(nb) == 0 {
+				break
+			}
+			if _, err := g.Delete(nb[rng.Intn(len(nb))]); err != nil {
+				return false
+			}
+			g.RecomputeBridges()
+		}
+		tree, err := g.Tentative()
+		if err != nil {
+			return false
+		}
+		lo := g.ElmoreDelays(tree, ckt, 0.0005)
+		hi := g.ElmoreDelays(tree, ckt, 0.001)
+		for i := range lo {
+			if hi[i] < lo[i]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(37))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package rgraph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/grid"
+)
+
+// bruteSteiner finds the minimum-length connected subgraph of the alive
+// edges that touches every terminal vertex, by subset enumeration. Only
+// usable on tiny graphs (<= ~18 alive edges).
+func bruteSteiner(g *Graph) float64 {
+	alive := g.AliveEdges()
+	if len(alive) > 20 {
+		panic("graph too large for brute force")
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<len(alive); mask++ {
+		// Quick pruning: cheaper subsets first is unnecessary; just skip
+		// sets already longer than the best.
+		var length float64
+		for i, e := range alive {
+			if mask&(1<<i) != 0 {
+				length += g.Edges[e].Len
+			}
+		}
+		if length >= best {
+			continue
+		}
+		// Connectivity over the chosen edges, covering all terminals.
+		parent := make(map[int]int)
+		var find func(x int) int
+		find = func(x int) int {
+			if p, ok := parent[x]; ok && p != x {
+				root := find(p)
+				parent[x] = root
+				return root
+			}
+			parent[x] = x
+			return x
+		}
+		for i, e := range alive {
+			if mask&(1<<i) != 0 {
+				a, b := find(g.Edges[e].U), find(g.Edges[e].V)
+				if a != b {
+					parent[a] = b
+				}
+			}
+		}
+		root := find(g.TermVert[0])
+		ok := true
+		for _, tv := range g.TermVert[1:] {
+			if _, seen := parent[tv]; !seen || find(tv) != root {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = length
+		}
+	}
+	return best
+}
+
+// TestTentativeTreeNearOptimal quantifies the §3.2 estimate: the
+// shortest-path-tree union is never below the true minimum Steiner tree
+// in Gr(n), and on the sample circuits it stays within 25% of it.
+func TestTentativeTreeNearOptimal(t *testing.T) {
+	for _, build := range []func() *circuit.Circuit{circuit.SampleSmall, circuit.SampleDiff} {
+		ckt := build()
+		geo, err := grid.New(ckt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := range ckt.Nets {
+			g, err := Build(ckt, geo, n, feedsFor(t, ckt, geo, n))
+			if err != nil {
+				t.Fatalf("net %s: %v", ckt.Nets[n].Name, err)
+			}
+			if len(g.AliveEdges()) > 18 {
+				continue
+			}
+			tree, err := g.Tentative()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := bruteSteiner(g)
+			if math.IsInf(opt, 1) {
+				t.Fatalf("net %s: no Steiner tree found", ckt.Nets[n].Name)
+			}
+			if tree.Length < opt-1e-9 {
+				t.Fatalf("net %s: tentative %v below the optimum %v (impossible)",
+					ckt.Nets[n].Name, tree.Length, opt)
+			}
+			if tree.Length > opt*1.25+1e-9 {
+				t.Errorf("net %s: tentative %v vs optimal Steiner %v (+%.0f%%)",
+					ckt.Nets[n].Name, tree.Length, opt, (tree.Length/opt-1)*100)
+			}
+		}
+	}
+}

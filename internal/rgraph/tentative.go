@@ -1,0 +1,237 @@
+package rgraph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Tree is a tentative tree (§3.2): the union of the shortest paths from
+// the driving terminal to every other terminal over the alive edges.
+type Tree struct {
+	// Edges lists the ids of the union, in no particular order.
+	Edges []int
+	// InTree flags membership per edge id.
+	InTree []bool
+	// Length is the total wire length of the union, µm.
+	Length float64
+	// SinkDist[i] is the shortest-path length (µm) from the driver to
+	// terminal i (SinkDist[0] == 0 for the driver itself).
+	SinkDist []float64
+}
+
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; x := old[len(old)-1]; *q = old[:len(old)-1]; return x }
+
+// Tentative computes the tentative tree with Dijkstra's shortest-path
+// algorithm from the driving terminal (paper §3.2).
+func (g *Graph) Tentative() (*Tree, error) {
+	return g.tentative(-1)
+}
+
+// TentativeWeighted computes a tentative tree under a custom edge cost
+// (e.g. congestion-inflated lengths for a sequential baseline router).
+// Tree.Length still reports physical length; SinkDist is in cost units.
+func (g *Graph) TentativeWeighted(cost func(e int) float64) (*Tree, error) {
+	return g.tentativeCost(-1, cost)
+}
+
+// KeepOnly kills every alive edge outside the tree, leaving exactly the
+// tree in the graph, and updates the bookkeeping.
+func (g *Graph) KeepOnly(t *Tree) {
+	for e := range g.Edges {
+		if g.Edges[e].Alive && !t.InTree[e] {
+			g.Edges[e].Alive = false
+			g.alive--
+		}
+	}
+}
+
+// LengthExcluding returns the tentative-tree length that would result from
+// deleting edge skip: the d'-generating estimate behind LM(e,P). It fails
+// if the exclusion disconnects some terminal (skip was a bridge).
+func (g *Graph) LengthExcluding(skip int) (float64, error) {
+	t, err := g.tentative(skip)
+	if err != nil {
+		return 0, err
+	}
+	return t.Length, nil
+}
+
+func (g *Graph) tentative(skip int) (*Tree, error) {
+	return g.tentativeCost(skip, nil)
+}
+
+func (g *Graph) tentativeCost(skip int, cost func(e int) float64) (*Tree, error) {
+	n := len(g.Verts)
+	dist := make([]float64, n)
+	prevEdge := make([]int, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+		prevEdge[v] = -1
+	}
+	src := g.TermVert[0]
+	dist[src] = 0
+	q := pq{{v: src, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.v] {
+			continue
+		}
+		for _, e := range g.adj[it.v] {
+			if !g.Edges[e].Alive || e == skip {
+				continue
+			}
+			c := g.Edges[e].Len
+			if cost != nil {
+				c = cost(e)
+			}
+			w := g.other(e, it.v)
+			if d := it.dist + c; d < dist[w] {
+				dist[w] = d
+				prevEdge[w] = e
+				heap.Push(&q, pqItem{v: w, dist: d})
+			}
+		}
+	}
+	t := &Tree{InTree: make([]bool, len(g.Edges)), SinkDist: make([]float64, len(g.TermVert))}
+	for ti, tv := range g.TermVert {
+		if math.IsInf(dist[tv], 1) {
+			return nil, fmt.Errorf("rgraph: terminal %d unreachable from driver", ti)
+		}
+		t.SinkDist[ti] = dist[tv]
+		for v := tv; prevEdge[v] != -1; {
+			e := prevEdge[v]
+			if t.InTree[e] {
+				break // the rest of the path is already in the union
+			}
+			t.InTree[e] = true
+			t.Edges = append(t.Edges, e)
+			t.Length += g.Edges[e].Len
+			v = g.other(e, v)
+		}
+	}
+	return t, nil
+}
+
+// FinalTree returns the alive graph as a Tree once routing has finished
+// (IsTree). Unlike Tentative it includes every alive edge; for a finished
+// net the two coincide up to pruned stubs.
+func (g *Graph) FinalTree() *Tree {
+	t := &Tree{InTree: make([]bool, len(g.Edges)), SinkDist: make([]float64, len(g.TermVert))}
+	for i := range g.Edges {
+		if g.Edges[i].Alive {
+			t.InTree[i] = true
+			t.Edges = append(t.Edges, i)
+			t.Length += g.Edges[i].Len
+		}
+	}
+	return t
+}
+
+// SkewPs returns the spread (max - min) of the per-sink Elmore wire
+// delays over a tree: the clock-skew measure that motivates the paper's
+// multi-pitch wires (§4.2, wider wire → lower resistance → lower skew).
+func (g *Graph) SkewPs(t *Tree, ckt *circuit.Circuit, rPerUm float64) float64 {
+	d := g.ElmoreDelays(t, ckt, rPerUm)
+	if len(d) < 2 {
+		return 0
+	}
+	minD, maxD := math.Inf(1), math.Inf(-1)
+	for _, x := range d[1:] {
+		if x < minD {
+			minD = x
+		}
+		if x > maxD {
+			maxD = x
+		}
+	}
+	return maxD - minD
+}
+
+// ElmoreDelays computes the per-sink Elmore wire delays (ps) over a tree,
+// for the paper's RC-extension option. rPerUm is the wire resistance in
+// kΩ/µm (so kΩ × fF = ps); capacitance comes from the net's pitch width
+// and the terminals' fan-in loads. The returned slice is indexed like the
+// net's terminals; entry 0 (the driver) is zero.
+func (g *Graph) ElmoreDelays(t *Tree, ckt *circuit.Circuit, rPerUm float64) []float64 {
+	capPerUm := ckt.Tech.WireCapPerUm(g.Pitch)
+	terms := ckt.Terminals(g.Net)
+
+	// Tree adjacency restricted to tree edges.
+	adj := make([][]int, len(g.Verts))
+	for _, e := range t.Edges {
+		adj[g.Edges[e].U] = append(adj[g.Edges[e].U], e)
+		adj[g.Edges[e].V] = append(adj[g.Edges[e].V], e)
+	}
+	// Pin loads at terminal vertices.
+	pinCap := make([]float64, len(g.Verts))
+	for ti, tv := range g.TermVert {
+		if ti > 0 {
+			pinCap[tv] = ckt.FinOf(terms[ti])
+		}
+	}
+	root := g.TermVert[0]
+
+	// Post-order subtree capacitances.
+	subCap := make([]float64, len(g.Verts))
+	parentEdge := make([]int, len(g.Verts))
+	order := make([]int, 0, len(g.Verts))
+	seen := make([]bool, len(g.Verts))
+	for v := range parentEdge {
+		parentEdge[v] = -1
+	}
+	stack := []int{root}
+	seen[root] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for _, e := range adj[v] {
+			w := g.other(e, v)
+			if !seen[w] {
+				seen[w] = true
+				parentEdge[w] = e
+				stack = append(stack, w)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		subCap[v] += pinCap[v]
+		if pe := parentEdge[v]; pe != -1 {
+			wireCap := g.Edges[pe].Len * capPerUm
+			up := g.other(pe, v)
+			subCap[up] += subCap[v] + wireCap
+		}
+	}
+	// Pre-order delay accumulation: delay at child = delay at parent +
+	// R(edge)·(C(edge)/2 + C(subtree below edge)).
+	delay := make([]float64, len(g.Verts))
+	for _, v := range order {
+		if pe := parentEdge[v]; pe != -1 {
+			up := g.other(pe, v)
+			r := rPerUm * g.Edges[pe].Len
+			c := g.Edges[pe].Len*capPerUm/2 + subCap[v]
+			delay[v] = delay[up] + r*c
+		}
+	}
+	out := make([]float64, len(g.TermVert))
+	for ti, tv := range g.TermVert {
+		out[ti] = delay[tv]
+	}
+	out[0] = 0
+	return out
+}

@@ -1,0 +1,102 @@
+package rgraph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/grid"
+)
+
+func TestTentativeWeightedMatchesPlainAtUnitCost(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	geo, _ := grid.New(ckt)
+	g, err := Build(ckt, geo, 1, feedsFor(t, ckt, geo, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := g.Tentative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := g.TentativeWeighted(func(e int) float64 { return g.Edges[e].Len })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Length-weighted.Length) > 1e-9 {
+		t.Fatalf("identity cost changed the tree: %v vs %v", plain.Length, weighted.Length)
+	}
+}
+
+func TestTentativeWeightedAvoidsPenalizedEdge(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	geo, _ := grid.New(ckt)
+	g, err := Build(ckt, geo, 1, feedsFor(t, ckt, geo, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := g.Tentative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Penalize a non-bridge tree edge heavily: the weighted tree must
+	// avoid it when an alternative exists.
+	victim := -1
+	for _, e := range plain.Edges {
+		if !g.Edges[e].Bridge {
+			victim = e
+			break
+		}
+	}
+	if victim == -1 {
+		t.Skip("no avoidable tree edge in fixture")
+	}
+	weighted, err := g.TentativeWeighted(func(e int) float64 {
+		if e == victim {
+			return 1e9
+		}
+		return g.Edges[e].Len
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.InTree[victim] {
+		t.Fatal("weighted tree still uses the penalized edge")
+	}
+	// The alternative is physically longer or equal.
+	if weighted.Length < plain.Length-1e-9 {
+		t.Fatalf("avoiding an edge shortened the tree: %v < %v", weighted.Length, plain.Length)
+	}
+}
+
+func TestKeepOnly(t *testing.T) {
+	ckt := circuit.SampleSmall()
+	geo, _ := grid.New(ckt)
+	g, err := Build(ckt, geo, 1, feedsFor(t, ckt, geo, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := g.Tentative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.KeepOnly(tree)
+	if g.AliveCount() != len(tree.Edges) {
+		t.Fatalf("alive %d, tree %d", g.AliveCount(), len(tree.Edges))
+	}
+	g.RecomputeBridges()
+	if !g.IsTree() {
+		t.Fatal("KeepOnly result not a tree")
+	}
+	for _, e := range g.AliveEdges() {
+		if !tree.InTree[e] {
+			t.Fatal("non-tree edge survived KeepOnly")
+		}
+		if !g.Edges[e].Bridge {
+			t.Fatal("tree edge not a bridge after KeepOnly")
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

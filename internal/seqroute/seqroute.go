@@ -1,0 +1,215 @@
+// Package seqroute is a sequential, net-at-a-time global router — the
+// class of timing-driven routers the paper positions itself against
+// (Jackson/Kuh, Prasitjutrakul/Kubitz, Cong et al.; single-net routing
+// under net-delay constraints). It serves as the comparison baseline: it
+// shares every substrate with the concurrent router (feed assignment,
+// routing graphs, density, timing) but routes one net after another, each
+// by congestion-weighted shortest paths, with no concurrent edge-deletion
+// and no global margin tracking.
+//
+// Nets are processed in ascending static slack. For each net, the router
+// keeps the spanning tree the congestion-weighted Dijkstra union selects
+// (edge cost = length · (1 + α·overflow)), commits its density, and moves
+// on. Earlier nets never see later nets' congestion — the fundamental
+// weakness the paper's concurrent scheme removes.
+package seqroute
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/dgraph"
+	"repro/internal/feed"
+	"repro/internal/grid"
+	"repro/internal/rgraph"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// UseConstraints orders nets by static slack (as the paper's router
+	// does); without it nets route in index order.
+	UseConstraints bool
+	// Alpha scales the congestion penalty; 0 routes pure shortest paths.
+	// Default 0.35.
+	Alpha float64
+	// TargetTracks is the per-channel density above which congestion
+	// starts to cost. 0 derives it from the average demand.
+	TargetTracks int
+}
+
+// Result mirrors the concurrent router's result shape (the subset the
+// experiments need).
+type Result struct {
+	Ckt            *circuit.Circuit
+	Geo            *grid.Geometry
+	Feeds          [][]rgraph.FeedPos
+	Graphs         []*rgraph.Graph
+	WirelenUm      []float64
+	TotalWirelenUm float64
+	Dens           *density.State
+	Delay          float64 // worst constrained-path delay, estimated
+	AddedPitches   int
+}
+
+// Route runs the baseline.
+func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
+	if err := ckt.Validate(); err != nil {
+		return nil, fmt.Errorf("seqroute: %w", err)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.35
+	}
+	var order []int
+	if cfg.UseConstraints {
+		dg0, err := dgraph.New(ckt)
+		if err != nil {
+			return nil, err
+		}
+		order = slackOrder(dg0)
+	}
+	fr, err := feed.Assign(ckt, order)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Ckt: fr.Ckt, Geo: fr.Geo, Feeds: fr.Feeds,
+		Graphs:       make([]*rgraph.Graph, len(fr.Ckt.Nets)),
+		WirelenUm:    make([]float64, len(fr.Ckt.Nets)),
+		Dens:         density.New(fr.Ckt.Channels(), fr.Ckt.Cols),
+		AddedPitches: fr.AddedPitches,
+	}
+	target := cfg.TargetTracks
+	if target <= 0 {
+		target = estimateTarget(fr.Ckt)
+	}
+
+	full := order
+	if full == nil {
+		full = make([]int, len(fr.Ckt.Nets))
+		for i := range full {
+			full[i] = i
+		}
+	}
+	done := make([]bool, len(fr.Ckt.Nets))
+	for _, n := range full {
+		if done[n] {
+			continue
+		}
+		nets := []int{n}
+		if m := fr.Ckt.Nets[n].DiffMate; m != circuit.NoNet {
+			nets = append(nets, m)
+		}
+		for _, nn := range nets {
+			if err := routeNet(res, nn, cfg, target); err != nil {
+				return nil, err
+			}
+			done[nn] = true
+		}
+	}
+	// Final timing on the committed trees.
+	dg, err := dgraph.New(res.Ckt)
+	if err != nil {
+		return nil, err
+	}
+	tm := dg.NewTiming()
+	tm.SetLumped(res.WirelenUm)
+	tm.Analyze()
+	for p := range tm.Cons {
+		if tm.Cons[p].Worst > res.Delay {
+			res.Delay = tm.Cons[p].Worst
+		}
+	}
+	for _, l := range res.WirelenUm {
+		res.TotalWirelenUm += l
+	}
+	return res, nil
+}
+
+// routeNet routes one net by a congestion-weighted tentative tree and
+// commits it: every edge outside the selected tree is discarded.
+func routeNet(res *Result, n int, cfg Config, target int) error {
+	g, err := rgraph.Build(res.Ckt, res.Geo, n, res.Feeds[n])
+	if err != nil {
+		return err
+	}
+	tree, err := congestionTree(g, res.Dens, cfg.Alpha, target)
+	if err != nil {
+		return err
+	}
+	// Keep only tree edges: the union is connected and spans the
+	// terminals by construction. Recompute bridges so downstream
+	// consumers (chanroute, verify) see a consistent tree.
+	g.KeepOnly(tree)
+	g.RecomputeBridges()
+	res.Graphs[n] = g
+	ft := g.FinalTree()
+	res.WirelenUm[n] = ft.Length
+	for _, e := range ft.Edges {
+		ed := &g.Edges[e]
+		if ed.Kind == rgraph.ETrunk {
+			res.Dens.Add(ed.Ch, ed.X1, ed.X2, g.Pitch)
+			res.Dens.AddBridge(ed.Ch, ed.X1, ed.X2, g.Pitch)
+		}
+	}
+	return nil
+}
+
+// congestionTree runs Dijkstra from the driver with congestion-inflated
+// edge costs and returns the union of the chosen paths.
+func congestionTree(g *rgraph.Graph, dens *density.State, alpha float64, target int) (*rgraph.Tree, error) {
+	cost := func(e int) float64 {
+		ed := &g.Edges[e]
+		c := ed.Len
+		if ed.Kind == rgraph.ETrunk {
+			over := dens.Edge(ed.Ch, ed.X1, ed.X2).DM + g.Pitch - target
+			if over > 0 {
+				c *= 1 + alpha*float64(over)
+			}
+			if c == 0 {
+				c = 1e-9
+			}
+		}
+		return c
+	}
+	return g.TentativeWeighted(cost)
+}
+
+// estimateTarget derives a per-channel density target from total demand:
+// half-perimeter demand spread over the channels.
+func estimateTarget(ckt *circuit.Circuit) int {
+	var demandCols int
+	for n := range ckt.Nets {
+		minC, maxC := math.MaxInt32, -1
+		for _, t := range ckt.Terminals(n) {
+			for _, pos := range ckt.PositionsOf(t) {
+				if pos.Col < minC {
+					minC = pos.Col
+				}
+				if pos.Col > maxC {
+					maxC = pos.Col
+				}
+			}
+		}
+		if maxC > minC {
+			demandCols += (maxC - minC) * ckt.Nets[n].Pitch
+		}
+	}
+	per := demandCols / (ckt.Channels() * ckt.Cols)
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+func slackOrder(dg *dgraph.Graph) []int {
+	slacks := dg.NetSlacks()
+	order := make([]int, len(slacks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return slacks[order[a]] < slacks[order[b]] })
+	return order
+}

@@ -1,0 +1,97 @@
+package verify
+
+import (
+	"repro/internal/chanroute"
+)
+
+// Channels audits a channel-routing result — the detailed-route-facing
+// rules:
+//
+//   - every proper segment has a track inside its channel's range, wide
+//     segments fit their extra tracks;
+//   - no two segments of different nets overlap on the same track;
+//   - vertical constraints hold at every column (a top pin's net above a
+//     bottom pin's net) except those the solver reported as violations;
+//   - straight-throughs carry no track.
+func Channels(cr *chanroute.Result) *Result {
+	v := &Result{}
+	for ci := range cr.Channels {
+		ch := &cr.Channels[ci]
+		v.checkChannelTracks(ci, ch)
+		v.checkChannelOverlaps(ci, ch)
+		v.checkChannelVCG(ci, ch)
+	}
+	return v
+}
+
+func (v *Result) checkChannelTracks(ci int, ch *chanroute.Channel) {
+	for _, s := range ch.Segments {
+		if s.Lo == s.Hi {
+			if s.Track != -1 {
+				v.addf(s.Net, "chan-track", "channel %d: straight-through of net %d on track %d", ci, s.Net, s.Track)
+			}
+			continue
+		}
+		w := s.Width
+		if w < 1 {
+			w = 1
+		}
+		if s.Track < 0 || s.Track+w > ch.Tracks {
+			v.addf(s.Net, "chan-track", "channel %d: net %d segment on track %d (width %d) outside %d tracks",
+				ci, s.Net, s.Track, w, ch.Tracks)
+		}
+	}
+}
+
+func (v *Result) checkChannelOverlaps(ci int, ch *chanroute.Channel) {
+	for i, a := range ch.Segments {
+		if a.Lo == a.Hi || a.Track < 0 {
+			continue
+		}
+		for _, b := range ch.Segments[i+1:] {
+			if b.Lo == b.Hi || b.Track < 0 || a.Net == b.Net {
+				continue
+			}
+			wa, wb := max(a.Width, 1), max(b.Width, 1) // builtin max
+			tracksOverlap := a.Track < b.Track+wb && b.Track < a.Track+wa
+			colsOverlap := a.Lo <= b.Hi && b.Lo <= a.Hi
+			if tracksOverlap && colsOverlap {
+				v.addf(a.Net, "chan-overlap", "channel %d: nets %d and %d overlap on track %d cols [%d,%d]",
+					ci, a.Net, b.Net, max(a.Track, b.Track), max(a.Lo, b.Lo), min(a.Hi, b.Hi))
+			}
+		}
+	}
+}
+
+func (v *Result) checkChannelVCG(ci int, ch *chanroute.Channel) {
+	if ch.VCGViolations > 0 {
+		// The solver gave up on some constraints and said so; skip the
+		// strict check but record the fact.
+		v.addf(-1, "chan-vcg-waived", "channel %d: solver reported %d waived constraints", ci, ch.VCGViolations)
+		return
+	}
+	for i, a := range ch.Segments {
+		if a.Track < 0 {
+			continue
+		}
+		for j, b := range ch.Segments {
+			if i == j || b.Track < 0 || a.Net == b.Net {
+				continue
+			}
+			for _, pa := range a.Pins {
+				if !pa.FromTop {
+					continue
+				}
+				for _, pb := range b.Pins {
+					if pb.FromTop || pb.Col != pa.Col {
+						continue
+					}
+					if a.Track <= b.Track {
+						v.addf(a.Net, "chan-vcg", "channel %d col %d: net %d (top pin, track %d) not above net %d (bottom pin, track %d)",
+							ci, pa.Col, a.Net, a.Track, b.Net, b.Track)
+					}
+				}
+			}
+		}
+	}
+}
