@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/chanroute"
 	"repro/internal/circuit"
@@ -49,6 +50,7 @@ func main() {
 		greedy  = flag.Bool("greedy", false, "use the greedy channel router instead of left-edge")
 		dbOut   = flag.String("db", "", "write the routing database (JSON handoff) to this file")
 		congest = flag.Bool("congestion", false, "print the per-channel congestion table")
+		phases  = flag.Bool("phases", false, "print the per-phase wall-clock breakdown")
 	)
 	flag.Parse()
 
@@ -201,6 +203,15 @@ func main() {
 	fmt.Printf("wire length  %.2f mm\n", cr.TotalLenUm/1000)
 	fmt.Printf("feed cells   +%d columns inserted\n", res.AddedPitches)
 	fmt.Printf("tracks       %d total over %d channels\n", res.Dens.TotalTracks(), res.Ckt.Channels())
+	fmt.Printf("route time   %v\n", res.Duration.Round(time.Microsecond))
+	if *phases {
+		fmt.Println()
+		fmt.Println("phase                    deletions  reroutes  accepted      time")
+		for _, ps := range res.Phases {
+			fmt.Printf("%-24s %9d %9d %9d %9v\n",
+				ps.Name, ps.Deletions, ps.Reroutes, ps.Accepted, ps.Duration.Round(time.Microsecond))
+		}
+	}
 }
 
 func load(in, dataset string) (*circuit.Circuit, error) {

@@ -1,0 +1,71 @@
+// Command bgr-serve runs the global router as a long-lived HTTP service:
+// clients POST circuits, poll or stream job status, and fetch results as
+// routedb JSON, timing reports or SVG. See docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	bgr-serve -addr 127.0.0.1:8080 -workers 4
+//	bgr-serve -queue 128 -cache 64 -job-timeout 2m
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = flag.Int("workers", 2, "routing worker pool size")
+		queue      = flag.Int("queue", 64, "job queue depth")
+		cache      = flag.Int("cache", 32, "result cache entries (negative disables)")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job routing deadline")
+		drain      = flag.Duration("drain", time.Minute, "shutdown grace period for queued jobs")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		JobTimeout: *jobTimeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("bgr-serve: listening on http://%s/ (workers=%d queue=%d cache=%d)\n",
+		*addr, *workers, *queue, *cache)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("bgr-serve: shutting down, draining queue...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "bgr-serve: http shutdown:", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "bgr-serve: queue drain:", err)
+		os.Exit(1)
+	}
+	fmt.Println("bgr-serve: done")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgr-serve:", err)
+	os.Exit(1)
+}

@@ -2,15 +2,26 @@
 // SVG chip drawing, the timing report and the ASCII layout — over HTTP on
 // localhost.
 //
+// By default it runs an embedded routing service (internal/service) and
+// mounts the service's job endpoints, so the page is backed by the same
+// API a bgr-serve deployment exposes: /jobs/{id}/svg, /jobs/{id}/timing,
+// /jobs/{id}/layout, /jobs/{id}/routedb and /metrics all work. The
+// pre-service one-shot render.Handler wiring remains available behind
+// -legacy.
+//
 // Usage:
 //
 //	bgr-view -dataset C1P1 -addr 127.0.0.1:8080
 //	bgr-view -i design.ckt
+//	bgr-view -i design.ckt -legacy
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"html"
 	"net/http"
 	"os"
 
@@ -19,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/render"
+	"repro/internal/service"
 )
 
 func main() {
@@ -27,30 +39,79 @@ func main() {
 		dataset = flag.String("dataset", "", "generate a preset data set instead of reading a file")
 		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
 		uncon   = flag.Bool("unconstrained", false, "route without timing constraints")
+		legacy  = flag.Bool("legacy", false, "serve via the old one-shot render.Handler instead of the routing service")
 	)
 	flag.Parse()
 
-	var ckt *circuit.Circuit
-	var err error
-	switch {
-	case *dataset != "":
-		var p gen.Params
-		if p, err = gen.Dataset(*dataset); err == nil {
-			ckt, err = gen.Generate(p)
-		}
-	case *in != "":
-		var f *os.File
-		if f, err = os.Open(*in); err == nil {
-			ckt, err = circuit.Parse(f)
-			f.Close()
-		}
-	default:
-		err = fmt.Errorf("need -i <file> or -dataset <name>")
-	}
+	ckt, err := load(*in, *dataset)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := core.Route(ckt, core.Config{UseConstraints: !*uncon})
+	if *legacy {
+		serveLegacy(ckt, *addr, !*uncon)
+		return
+	}
+
+	// Render the circuit back to its text form: the service consumes the
+	// same payload a remote client would POST.
+	var cktText bytes.Buffer
+	if err := circuit.Format(&cktText, ckt); err != nil {
+		fatal(err)
+	}
+	svc := service.New(service.Options{Workers: 1})
+	res, err := svc.Submit(service.SubmitRequest{
+		Circuit: cktText.String(),
+		Config:  &service.JobConfig{UseConstraints: !*uncon},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	st, err := svc.Wait(context.Background(), res.Job.ID)
+	if err != nil {
+		fatal(err)
+	}
+	if st.State != service.Done {
+		fatal(fmt.Errorf("routing %s: %s", st.State, st.Error))
+	}
+	payload := res.Job.Payload()
+
+	mux := http.NewServeMux()
+	mux.Handle("/jobs", svc.Handler())
+	mux.Handle("/jobs/", svc.Handler())
+	mux.Handle("/metrics", svc.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		s := payload.Summary
+		fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><title>%s — routed</title>
+<style>body{font-family:monospace;margin:2em}pre{background:#f6f6f6;padding:1em;overflow:auto}</style>
+</head><body>
+<h1>%s</h1>
+<p>%d nets, %d constraints, %.3f mm², %.2f mm wire, %d tracks
+— <a href="/jobs/%s/routedb">routedb</a> · <a href="/jobs/%s">job</a> · <a href="/metrics">metrics</a></p>
+<object data="/jobs/%s/svg" type="image/svg+xml" style="width:100%%;border:1px solid #ccc"></object>
+<h2>Timing</h2><pre>%s</pre>
+<h2>Layout</h2><pre>%s</pre>
+</body></html>`,
+			html.EscapeString(ckt.Name), html.EscapeString(ckt.Name),
+			s.Nets, s.Constraints, s.AreaMm2, s.WirelenMm, s.Tracks,
+			res.Job.ID, res.Job.ID, res.Job.ID,
+			html.EscapeString(payload.Timing), html.EscapeString(payload.Layout))
+	})
+	fmt.Printf("bgr-view: serving %s on http://%s/ (job %s)\n", ckt.Name, *addr, res.Job.ID)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fatal(err)
+	}
+}
+
+// serveLegacy is the pre-service path: route in-process and mount
+// render.Handler directly.
+func serveLegacy(ckt *circuit.Circuit, addr string, constraints bool) {
+	res, err := core.Route(ckt, core.Config{UseConstraints: constraints})
 	if err != nil {
 		fatal(err)
 	}
@@ -62,10 +123,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("bgr-view: serving %s on http://%s/\n", ckt.Name, *addr)
-	if err := http.ListenAndServe(*addr, h); err != nil {
+	fmt.Printf("bgr-view: serving %s on http://%s/ (legacy)\n", ckt.Name, addr)
+	if err := http.ListenAndServe(addr, h); err != nil {
 		fatal(err)
 	}
+}
+
+func load(in, dataset string) (*circuit.Circuit, error) {
+	switch {
+	case in != "" && dataset != "":
+		return nil, fmt.Errorf("use either -i or -dataset, not both")
+	case dataset != "":
+		p, err := gen.Dataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Generate(p)
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.Parse(f)
+	}
+	return nil, fmt.Errorf("need -i <file> or -dataset <name>")
 }
 
 func fatal(err error) {

@@ -80,6 +80,15 @@ type Config struct {
 
 	// Trace, when non-nil, receives a phase-by-phase log (Fig. 2 trace).
 	Trace io.Writer
+
+	// Progress, when non-nil, receives Progress snapshots: one at each
+	// phase start, one after every edge deletion (initial routing) or
+	// reroute attempt (improvement phases), and one with Done set when the
+	// phase finishes. It is called synchronously from the routing
+	// goroutine, so it must be fast and must not call back into the
+	// router. Combined with RouteCtx it lets a caller observe and abort a
+	// run mid-flight.
+	Progress func(Progress)
 }
 
 // OrderStrategy selects the net order for feedthrough assignment (§3.1).

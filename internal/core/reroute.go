@@ -154,6 +154,9 @@ func (r *router) tryReroute(nets []int, altFeeds map[int][]rgraph.FeedPos, areaO
 		return false, err
 	}
 	for {
+		if err := r.check(); err != nil {
+			return false, err
+		}
 		best, ok := r.selectEdge(nets, areaOrder)
 		if !ok {
 			break

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -13,6 +14,21 @@ import (
 	"repro/internal/grid"
 	"repro/internal/rgraph"
 )
+
+// Progress is a point-in-time snapshot of a running phase, delivered to
+// Config.Progress. Counters are cumulative within the named phase.
+type Progress struct {
+	// Phase is the Fig. 2 phase name ("initial", "recover-violations",
+	// "improve-delay", "improve-area").
+	Phase     string
+	Deletions int
+	Reroutes  int
+	Accepted  int
+	// Violations is the number of constraints currently violated.
+	Violations int
+	// Done marks the phase-completion event.
+	Done bool
+}
 
 // PhaseStat records one Fig. 2 phase for tracing and experiments.
 type PhaseStat struct {
@@ -51,6 +67,9 @@ type Result struct {
 	AddedPitches int
 	// Phases traces the run.
 	Phases []PhaseStat
+	// Duration is the total wall-clock time of the run, including
+	// feedthrough assignment and setup (not just the phase loop).
+	Duration time.Duration
 }
 
 // Margin returns the final margin of constraint p.
@@ -68,6 +87,7 @@ func (res *Result) Violations() int {
 }
 
 type router struct {
+	ctx    context.Context
 	cfg    Config
 	ckt    *circuit.Circuit
 	geo    *grid.Geometry
@@ -93,6 +113,20 @@ type router struct {
 
 // Route runs the full global routing algorithm on a validated circuit.
 func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
+	return RouteCtx(context.Background(), ckt, cfg)
+}
+
+// RouteCtx is Route with cancellation: the run aborts promptly (between
+// edge deletions) when ctx is cancelled or its deadline passes, returning
+// an error that wraps ctx.Err(). A nil ctx means context.Background().
+func RouteCtx(ctx context.Context, ckt *circuit.Circuit, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: routing aborted: %w", err)
+	}
 	if err := ckt.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -109,7 +143,7 @@ func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &router{cfg: cfg, ckt: fr.Ckt, geo: fr.Geo, feeds: fr.Feeds}
+	r := &router{ctx: ctx, cfg: cfg, ckt: fr.Ckt, geo: fr.Geo, feeds: fr.Feeds}
 	if r.dg, err = dgraph.New(r.ckt); err != nil {
 		return nil, err
 	}
@@ -117,13 +151,21 @@ func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	r.runPhase("initial", func(ps *PhaseStat) error { return r.initialRouting(ps) })
+	if err := r.runPhase("initial", func(ps *PhaseStat) error { return r.initialRouting(ps) }); err != nil {
+		return nil, err
+	}
 	if !cfg.SkipImprovement {
 		if cfg.UseConstraints {
-			r.runPhase("recover-violations", func(ps *PhaseStat) error { return r.recoverViolations(ps) })
-			r.runPhase("improve-delay", func(ps *PhaseStat) error { return r.improveDelay(ps) })
+			if err := r.runPhase("recover-violations", func(ps *PhaseStat) error { return r.recoverViolations(ps) }); err != nil {
+				return nil, err
+			}
+			if err := r.runPhase("improve-delay", func(ps *PhaseStat) error { return r.improveDelay(ps) }); err != nil {
+				return nil, err
+			}
 		}
-		r.runPhase("improve-area", func(ps *PhaseStat) error { return r.improveArea(ps) })
+		if err := r.runPhase("improve-area", func(ps *PhaseStat) error { return r.improveArea(ps) }); err != nil {
+			return nil, err
+		}
 	}
 	for n, g := range r.graphs {
 		if !g.IsTree() {
@@ -143,11 +185,16 @@ func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
 			res.Delay = d
 		}
 	}
+	res.Duration = time.Since(start)
 	return res, nil
 }
 
-func (r *router) runPhase(name string, f func(*PhaseStat) error) {
+func (r *router) runPhase(name string, f func(*PhaseStat) error) error {
+	if err := r.check(); err != nil {
+		return err
+	}
 	ps := PhaseStat{Name: name}
+	r.emit(Progress{Phase: name, Violations: r.liveViolations()})
 	start := time.Now()
 	err := f(&ps)
 	ps.Duration = time.Since(start)
@@ -158,6 +205,54 @@ func (r *router) runPhase(name string, f func(*PhaseStat) error) {
 			ps.ByKind[rgraph.ETrunk], ps.ByKind[rgraph.EFeed],
 			ps.Reroutes, ps.Accepted, ps.Duration.Round(time.Millisecond), err)
 	}
+	if err == nil {
+		r.emit(Progress{Phase: name, Deletions: ps.Deletions, Reroutes: ps.Reroutes,
+			Accepted: ps.Accepted, Violations: r.liveViolations(), Done: true})
+	}
+	return err
+}
+
+// check returns a wrapped ctx.Err() once the run's context is cancelled.
+// A router built without a context (tests drive phases directly) never
+// cancels.
+func (r *router) check() error {
+	if r.ctx == nil {
+		return nil
+	}
+	if err := r.ctx.Err(); err != nil {
+		return fmt.Errorf("core: routing aborted: %w", err)
+	}
+	return nil
+}
+
+// emit delivers a progress snapshot to the configured callback.
+func (r *router) emit(p Progress) {
+	if r.cfg.Progress != nil {
+		r.cfg.Progress(p)
+	}
+}
+
+// emitPhase reports a phase's current counters mid-flight.
+func (r *router) emitPhase(ps *PhaseStat) {
+	if r.cfg.Progress == nil {
+		return
+	}
+	r.cfg.Progress(Progress{Phase: ps.Name, Deletions: ps.Deletions,
+		Reroutes: ps.Reroutes, Accepted: ps.Accepted, Violations: r.liveViolations()})
+}
+
+// liveViolations counts currently violated constraints mid-route.
+func (r *router) liveViolations() int {
+	if r.tm == nil {
+		return 0
+	}
+	v := 0
+	for p := range r.tm.Cons {
+		if r.tm.Cons[p].Margin < 0 {
+			v++
+		}
+	}
+	return v
 }
 
 // slackOrder returns net indices ordered by ascending static slack.
@@ -389,6 +484,9 @@ func (r *router) deleteEdge(n, e int) error {
 func (r *router) initialRouting(ps *PhaseStat) error {
 	areaOrder := r.cfg.AreaFirst
 	for {
+		if err := r.check(); err != nil {
+			return err
+		}
 		best, ok := r.selectEdge(nil, areaOrder)
 		if !ok {
 			return nil
@@ -401,6 +499,7 @@ func (r *router) initialRouting(ps *PhaseStat) error {
 		if int(kind) < len(ps.ByKind) {
 			ps.ByKind[kind]++
 		}
+		r.emitPhase(ps)
 	}
 }
 
@@ -434,6 +533,9 @@ func (r *router) recoverViolations(ps *PhaseStat) error {
 		improvedAny := false
 		for _, p := range violated {
 			for _, n := range r.tm.CriticalNets(p) {
+				if err := r.check(); err != nil {
+					return err
+				}
 				improved, err := r.rerouteNet(n, r.cfg.AreaFirst, r.acceptDelay)
 				if err != nil {
 					return err
@@ -443,6 +545,7 @@ func (r *router) recoverViolations(ps *PhaseStat) error {
 					ps.Accepted++
 					improvedAny = true
 				}
+				r.emitPhase(ps)
 			}
 		}
 		if !improvedAny {
@@ -479,6 +582,9 @@ func (r *router) improveDelay(ps *PhaseStat) error {
 		improvedAny := false
 		for _, p := range order {
 			for _, n := range r.tm.CriticalNets(p) {
+				if err := r.check(); err != nil {
+					return err
+				}
 				improved, err := r.rerouteNet(n, r.cfg.AreaFirst, r.acceptDelay)
 				if err != nil {
 					return err
@@ -488,6 +594,7 @@ func (r *router) improveDelay(ps *PhaseStat) error {
 					ps.Accepted++
 					improvedAny = true
 				}
+				r.emitPhase(ps)
 			}
 		}
 		if !improvedAny {
@@ -504,6 +611,9 @@ func (r *router) improveArea(ps *PhaseStat) error {
 		nets := r.congestedNets()
 		improvedAny := false
 		for _, n := range nets {
+			if err := r.check(); err != nil {
+				return err
+			}
 			improved, err := r.rerouteNet(n, true, r.acceptArea)
 			if err != nil {
 				return err
@@ -513,6 +623,7 @@ func (r *router) improveArea(ps *PhaseStat) error {
 				ps.Accepted++
 				improvedAny = true
 			}
+			r.emitPhase(ps)
 		}
 		if !improvedAny {
 			return nil

@@ -6,6 +6,7 @@
 package routedb
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -145,11 +146,30 @@ func Build(res *core.Result, cr *chanroute.Result) (*DB, error) {
 	return db, nil
 }
 
+// Marshal renders the database in the canonical on-disk form: indented
+// JSON with a trailing newline, exactly what Write emits. The form is
+// stable under round-trips (Marshal → Read → Marshal is byte-identical),
+// so independently produced databases can be compared as raw bytes —
+// which is how the service's result cache guarantees cached and
+// freshly-routed responses agree.
+func Marshal(db *DB) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(db); err != nil {
+		return nil, fmt.Errorf("routedb: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
 // Write emits the database as indented JSON.
 func Write(w io.Writer, db *DB) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(db)
+	b, err := Marshal(db)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
 }
 
 // Read parses a database written by Write.

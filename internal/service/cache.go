@@ -1,0 +1,50 @@
+package service
+
+import "container/list"
+
+// resultCache is a plain LRU over finished payloads, keyed by the content
+// hash of (circuit text, canonical config). It is not internally
+// synchronized: the Server's mutex guards every call.
+type resultCache struct {
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	payload *Payload
+	phases  []PhaseInfo
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+func (c *resultCache) put(key string, p *Payload, phases []PhaseInfo) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value = &cacheEntry{key: key, payload: p, phases: phases}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, payload: p, phases: phases})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int { return c.ll.Len() }

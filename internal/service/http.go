@@ -1,0 +1,183 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the service's HTTP API (see docs/SERVICE.md):
+//
+//	POST /jobs              submit a circuit + config, get a job ID
+//	GET  /jobs              list jobs in submission order
+//	GET  /jobs/{id}         status snapshot
+//	POST /jobs/{id}/cancel  abort a queued or running job
+//	GET  /jobs/{id}/events  stream status snapshots (server-sent events)
+//	GET  /jobs/{id}/routedb finished routing as routedb JSON
+//	GET  /jobs/{id}/timing  plain-text timing report
+//	GET  /jobs/{id}/svg     chip drawing
+//	GET  /jobs/{id}/layout  ASCII layout
+//	GET  /metrics           expvar-style counters
+//	GET  /healthz           liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	})
+	mux.HandleFunc("GET /jobs/{id}", s.withJob(func(w http.ResponseWriter, r *http.Request, j *Job) {
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	}))
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Cancel(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", s.withJob(s.handleEvents))
+	mux.HandleFunc("GET /jobs/{id}/routedb", s.resultEndpoint("application/json", func(p *Payload) []byte { return p.RouteDB }))
+	mux.HandleFunc("GET /jobs/{id}/timing", s.resultEndpoint("text/plain; charset=utf-8", func(p *Payload) []byte { return []byte(p.Timing) }))
+	mux.HandleFunc("GET /jobs/{id}/svg", s.resultEndpoint("image/svg+xml", func(p *Payload) []byte { return []byte(p.SVG) }))
+	mux.HandleFunc("GET /jobs/{id}/layout", s.resultEndpoint("text/plain; charset=utf-8", func(p *Payload) []byte { return []byte(p.Layout) }))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// submitResponse is the POST /jobs reply.
+type submitResponse struct {
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached"`
+	Dedup  bool   `json:"dedup"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Circuit == "" {
+		writeError(w, http.StatusBadRequest, "missing circuit")
+		return
+	}
+	res, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:     res.Job.ID,
+		State:  res.Job.State(),
+		Cached: res.Cached,
+		Dedup:  res.Deduped,
+	})
+}
+
+// handleEvents streams status snapshots as server-sent events: one event
+// per observable change, a final event at the terminal state, then EOF.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	var last []byte
+	send := func() bool {
+		snap := j.Snapshot()
+		b, err := json.Marshal(snap)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(b, last) {
+			fmt.Fprintf(w, "data: %s\n\n", b)
+			fl.Flush()
+			last = b
+		}
+		return !snap.State.Terminal()
+	}
+	if !send() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			send()
+			return
+		case <-ticker.C:
+			if !send() {
+				return
+			}
+		}
+	}
+}
+
+// withJob resolves {id} or 404s.
+func (s *Server) withJob(f func(http.ResponseWriter, *http.Request, *Job)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		f(w, r, j)
+	}
+}
+
+// resultEndpoint serves one rendered form of a finished job; non-Done
+// jobs answer 409 with the current state so pollers can tell "not yet"
+// from "never".
+func (s *Server) resultEndpoint(contentType string, pick func(*Payload) []byte) http.HandlerFunc {
+	return s.withJob(func(w http.ResponseWriter, r *http.Request, j *Job) {
+		p := j.Payload()
+		if p == nil {
+			snap := j.Snapshot()
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error": "job not done", "state": snap.State, "job_error": snap.Error,
+			})
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(pick(p))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

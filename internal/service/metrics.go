@@ -1,0 +1,129 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds of the per-phase latency
+// histogram, milliseconds; the implicit last bucket is +Inf.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram (cumulative on export,
+// like Prometheus). counts has one slot per bound plus the +Inf overflow.
+type histogram struct {
+	counts [14]uint64 // len(latencyBucketsMs) + 1
+	sumMs  float64
+	count  uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sumMs += ms
+	h.count++
+}
+
+// histogramJSON is the exported form of one histogram.
+type histogramJSON struct {
+	Count   uint64            `json:"count"`
+	SumMs   float64           `json:"sum_ms"`
+	Buckets map[string]uint64 `json:"buckets"` // "le_<bound>" → cumulative count
+}
+
+func (h *histogram) export() histogramJSON {
+	out := histogramJSON{Count: h.count, SumMs: h.sumMs, Buckets: make(map[string]uint64)}
+	var cum uint64
+	for i, b := range latencyBucketsMs {
+		cum += h.counts[i]
+		out.Buckets[leLabel(b)] = cum
+	}
+	cum += h.counts[len(latencyBucketsMs)]
+	out.Buckets["le_inf"] = cum
+	return out
+}
+
+func leLabel(bound float64) string {
+	b, _ := json.Marshal(bound)
+	return "le_" + string(b) + "ms"
+}
+
+// metrics is the service-wide counter set, exposed at /metrics as
+// expvar-style JSON. Counters are atomics; the histograms share one
+// mutex (they are touched once per finished job, not per request).
+type metrics struct {
+	accepted  atomic.Int64 // jobs newly enqueued (excludes cache hits and dedups)
+	completed atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	deduped   atomic.Int64 // submissions coalesced onto an in-flight job
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+
+	mu     sync.Mutex
+	phases map[string]*histogram // per-phase routing latency
+	jobs   histogram             // end-to-end job latency
+}
+
+func newMetrics() *metrics {
+	return &metrics{phases: make(map[string]*histogram)}
+}
+
+func (m *metrics) observeJob(total time.Duration, phases []PhaseInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs.observe(total)
+	for _, p := range phases {
+		h := m.phases[p.Name]
+		if h == nil {
+			h = &histogram{}
+			m.phases[p.Name] = h
+		}
+		h.observe(time.Duration(p.DurationMs * float64(time.Millisecond)))
+	}
+}
+
+// MetricsSnapshot is the /metrics document.
+type MetricsSnapshot struct {
+	JobsAccepted  int64                    `json:"jobs_accepted"`
+	JobsCompleted int64                    `json:"jobs_completed"`
+	JobsFailed    int64                    `json:"jobs_failed"`
+	JobsCancelled int64                    `json:"jobs_cancelled"`
+	JobsDeduped   int64                    `json:"jobs_deduped"`
+	CacheHits     int64                    `json:"cache_hits"`
+	CacheMisses   int64                    `json:"cache_misses"`
+	CacheEntries  int                      `json:"cache_entries"`
+	QueueDepth    int                      `json:"queue_depth"`
+	Workers       int                      `json:"workers"`
+	JobLatency    histogramJSON            `json:"job_latency_ms"`
+	PhaseLatency  map[string]histogramJSON `json:"phase_latency_ms"`
+}
+
+func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{
+		JobsAccepted:  m.accepted.Load(),
+		JobsCompleted: m.completed.Load(),
+		JobsFailed:    m.failed.Load(),
+		JobsCancelled: m.cancelled.Load(),
+		JobsDeduped:   m.deduped.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMiss.Load(),
+		CacheEntries:  cacheEntries,
+		QueueDepth:    queueDepth,
+		Workers:       workers,
+		JobLatency:    m.jobs.export(),
+		PhaseLatency:  make(map[string]histogramJSON, len(m.phases)),
+	}
+	for name, h := range m.phases {
+		out.PhaseLatency[name] = h.export()
+	}
+	return out
+}

@@ -1,0 +1,486 @@
+// Package service turns the batch global router into a long-lived
+// concurrent routing service: clients submit a circuit plus a routing
+// config, get a job ID back, observe progress, and fetch the finished
+// routing as routedb JSON, a timing report, an SVG drawing or an ASCII
+// layout.
+//
+// Jobs run on a bounded worker pool fed by a FIFO queue. Identical
+// in-flight submissions (same circuit text and canonical config) are
+// coalesced onto one job, and finished results live in an LRU cache keyed
+// by the same content hash, so re-submitting a design is served instantly
+// and byte-identically. Each job runs under a context with a deadline;
+// cancelling a queued job is immediate, cancelling a running one aborts
+// core.RouteCtx between edge deletions.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chanroute"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dgraph"
+	"repro/internal/experiment"
+	"repro/internal/render"
+	"repro/internal/report"
+	"repro/internal/routedb"
+)
+
+// Errors surfaced to submitters.
+var (
+	// ErrQueueFull: the FIFO queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrShuttingDown: the server no longer accepts jobs (HTTP 503).
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// Options configures a Server. The zero value gets sensible defaults.
+type Options struct {
+	// Workers is the routing worker pool size (default 2).
+	Workers int
+	// QueueDepth bounds the FIFO job queue (default 64).
+	QueueDepth int
+	// CacheSize bounds the LRU result cache, entries (default 32;
+	// negative disables caching).
+	CacheSize int
+	// JobTimeout is the default per-job routing deadline (default 5m).
+	// A submission may shorten it but never extend it.
+	JobTimeout time.Duration
+
+	// beforeRun, when set (tests only), is called by a worker after it
+	// claims a job and before routing starts.
+	beforeRun func(*Job)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 32
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 5 * time.Minute
+	}
+	return o
+}
+
+// JobConfig is the client-facing subset of core.Config (plus the channel
+// router choice). Its canonical JSON form is part of the cache key.
+type JobConfig struct {
+	UseConstraints  bool    `json:"use_constraints"`
+	DelayModel      string  `json:"delay_model,omitempty"` // "", "lumped", "elmore"
+	RPerUm          float64 `json:"r_per_um,omitempty"`
+	AreaFirst       bool    `json:"area_first,omitempty"`
+	SkipImprovement bool    `json:"skip_improvement,omitempty"`
+	MaxPasses       int     `json:"max_passes,omitempty"`
+	Order           string  `json:"order,omitempty"` // "", "slack", "index", "hpwl", "fanout"
+	NoFeedReroute   bool    `json:"no_feed_reroute,omitempty"`
+	GreedyChannels  bool    `json:"greedy_channels,omitempty"`
+}
+
+// DefaultJobConfig is used when a submission omits "config".
+func DefaultJobConfig() JobConfig { return JobConfig{UseConstraints: true} }
+
+// toCore translates to a core.Config, rejecting unknown enum strings.
+func (jc JobConfig) toCore() (core.Config, error) {
+	cfg := core.Config{
+		UseConstraints:  jc.UseConstraints,
+		RPerUm:          jc.RPerUm,
+		AreaFirst:       jc.AreaFirst,
+		SkipImprovement: jc.SkipImprovement,
+		MaxPasses:       jc.MaxPasses,
+		NoFeedReroute:   jc.NoFeedReroute,
+	}
+	switch jc.DelayModel {
+	case "", "lumped":
+	case "elmore":
+		cfg.DelayModel = core.Elmore
+	default:
+		return cfg, fmt.Errorf("unknown delay_model %q", jc.DelayModel)
+	}
+	switch jc.Order {
+	case "", "slack":
+	case "index":
+		cfg.Order = core.OrderIndex
+	case "hpwl":
+		cfg.Order = core.OrderHPWL
+	case "fanout":
+		cfg.Order = core.OrderFanout
+	default:
+		return cfg, fmt.Errorf("unknown order %q", jc.Order)
+	}
+	return cfg, nil
+}
+
+// SubmitRequest is the POST /jobs body.
+type SubmitRequest struct {
+	// Circuit is the design in the .ckt text format (circuit.Parse).
+	Circuit string `json:"circuit"`
+	// Config selects the routing mode; nil means DefaultJobConfig.
+	Config *JobConfig `json:"config,omitempty"`
+	// TimeoutMs optionally tightens the per-job deadline below the
+	// server default. It is not part of the cache key.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// SubmitResult reports how a submission was satisfied.
+type SubmitResult struct {
+	Job *Job
+	// Cached: served straight from the result cache (job is born Done).
+	Cached bool
+	// Deduped: coalesced onto an already in-flight identical job.
+	Deduped bool
+}
+
+// Server is the routing service. Create with New, expose with Handler,
+// stop with Shutdown.
+type Server struct {
+	opts    Options
+	metrics *metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int
+	jobs     map[string]*Job
+	order    []string        // submission order, for GET /jobs
+	inflight map[string]*Job // content hash → queued/running job
+	cache    *resultCache
+}
+
+// New starts a Server and its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		metrics:    newMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, opts.QueueDepth),
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		cache:      newResultCache(opts.CacheSize),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// hashKey is the content hash of (canonical config JSON, circuit text).
+func hashKey(cktText string, jc JobConfig) string {
+	cfgJSON, _ := json.Marshal(jc)
+	h := sha256.New()
+	h.Write(cfgJSON)
+	h.Write([]byte{0})
+	h.Write([]byte(cktText))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Submit validates and enqueues a routing request. Identical in-flight
+// requests coalesce onto one job; cached results produce a job that is
+// already Done.
+func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
+	ckt, err := circuit.Parse(strings.NewReader(req.Circuit))
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	if err := ckt.Validate(); err != nil {
+		return SubmitResult{}, err
+	}
+	jc := DefaultJobConfig()
+	if req.Config != nil {
+		jc = *req.Config
+	}
+	cfg, err := jc.toCore()
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	timeout := s.opts.JobTimeout
+	if t := time.Duration(req.TimeoutMs) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	hash := hashKey(req.Circuit, jc)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SubmitResult{}, ErrShuttingDown
+	}
+	if j, ok := s.inflight[hash]; ok {
+		s.metrics.deduped.Add(1)
+		return SubmitResult{Job: j, Deduped: true}, nil
+	}
+	if e, ok := s.cache.get(hash); ok {
+		s.metrics.cacheHits.Add(1)
+		j := s.newJobLocked(ckt, cfg, jc.GreedyChannels, timeout, hash)
+		j.state = Done
+		j.cached = true
+		j.payload = e.payload
+		j.phases = append([]PhaseInfo(nil), e.phases...)
+		close(j.done)
+		return SubmitResult{Job: j, Cached: true}, nil
+	}
+	s.metrics.cacheMiss.Add(1)
+	j := s.newJobLocked(ckt, cfg, jc.GreedyChannels, timeout, hash)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		return SubmitResult{}, ErrQueueFull
+	}
+	s.inflight[hash] = j
+	s.metrics.accepted.Add(1)
+	return SubmitResult{Job: j}, nil
+}
+
+// newJobLocked allocates and registers a job; s.mu must be held.
+func (s *Server) newJobLocked(ckt *circuit.Circuit, cfg core.Config, greedy bool, timeout time.Duration, hash string) *Job {
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j%04d-%s", s.seq, hash[:8]),
+		Hash:    hash,
+		ckt:     ckt,
+		cfg:     cfg,
+		greedy:  greedy,
+		timeout: timeout,
+		state:   Queued,
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns status snapshots in submission order.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// Cancel aborts a job: a queued job flips to Cancelled immediately, a
+// running one is interrupted (its worker records the final state). The
+// returned bool is false for unknown IDs.
+func (s *Server) Cancel(id string) (Status, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return Status{}, false
+	}
+	if _, cancelledNow := j.requestCancel(); cancelledNow {
+		s.metrics.cancelled.Add(1)
+		s.dropInflight(j)
+	}
+	return j.Snapshot(), true
+}
+
+// Wait blocks until the job is terminal or ctx expires.
+func (s *Server) Wait(ctx context.Context, id string) (Status, error) {
+	j, ok := s.Job(id)
+	if !ok {
+		return Status{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.Done():
+		return j.Snapshot(), nil
+	case <-ctx.Done():
+		return j.Snapshot(), ctx.Err()
+	}
+}
+
+// Metrics returns the current counter snapshot.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	entries := s.cache.len()
+	s.mu.Unlock()
+	return s.metrics.snapshot(len(s.queue), s.opts.Workers, entries)
+}
+
+// Shutdown stops accepting jobs, lets the workers drain the queue, and
+// waits for them. If ctx expires first, every remaining job is cancelled
+// and Shutdown still waits for the workers before returning ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) dropInflight(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.Hash] == j {
+		delete(s.inflight, j.Hash)
+	}
+	s.mu.Unlock()
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: route under the job context,
+// channel-route, render every payload form, then publish to the cache.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	defer cancel()
+	if !j.begin(cancel) {
+		// Cancelled while queued; Cancel already counted it.
+		return
+	}
+	if s.opts.beforeRun != nil {
+		s.opts.beforeRun(j)
+	}
+	start := time.Now()
+	cfg := j.cfg
+	cfg.Progress = j.setProgress
+
+	res, err := core.RouteCtx(ctx, j.ckt, cfg)
+	if err != nil {
+		s.finishJob(j, err)
+		return
+	}
+	payload, err := buildPayload(res, j.greedy)
+	if err != nil {
+		s.finishJob(j, err)
+		return
+	}
+	phases := phaseInfos(res.Phases)
+	if j.finish(Done, "", payload, phases) {
+		s.metrics.completed.Add(1)
+		s.metrics.observeJob(time.Since(start), phases)
+	}
+	s.mu.Lock()
+	s.cache.put(j.Hash, payload, phases)
+	if s.inflight[j.Hash] == j {
+		delete(s.inflight, j.Hash)
+	}
+	s.mu.Unlock()
+}
+
+// finishJob classifies a routing error into Cancelled vs Failed.
+func (s *Server) finishJob(j *Job, err error) {
+	st := Failed
+	msg := err.Error()
+	switch {
+	case errors.Is(err, context.Canceled):
+		st = Cancelled
+		msg = "cancelled while running"
+	case errors.Is(err, context.DeadlineExceeded):
+		msg = "deadline exceeded: " + msg
+	}
+	if j.finish(st, msg, nil, nil) {
+		if st == Cancelled {
+			s.metrics.cancelled.Add(1)
+		} else {
+			s.metrics.failed.Add(1)
+		}
+	}
+	s.dropInflight(j)
+}
+
+// buildPayload renders every response form from a finished routing. The
+// timing text matches render.Handler's (report + slack histogram over the
+// post-channel-routing lengths) so the bgr-view port is byte-compatible.
+func buildPayload(res *core.Result, greedy bool) (*Payload, error) {
+	algo := chanroute.LeftEdge
+	if greedy {
+		algo = chanroute.Greedy
+	}
+	cr, err := chanroute.RouteWith(res.Ckt, res.Graphs, algo)
+	if err != nil {
+		return nil, err
+	}
+	db, err := routedb.Build(res, cr)
+	if err != nil {
+		return nil, err
+	}
+	dbJSON, err := routedb.Marshal(db)
+	if err != nil {
+		return nil, err
+	}
+	dg, err := dgraph.New(res.Ckt)
+	if err != nil {
+		return nil, err
+	}
+	tm := dg.NewTiming()
+	tm.SetLumped(cr.NetLenUm)
+	tm.Analyze()
+	timing := report.TimingReport(res.Ckt, tm, 3) + "\n" + report.SlackHistogram(res.Ckt, tm, 8)
+
+	delay, viol, err := experiment.FinalDelay(res.Ckt, cr.NetLenUm)
+	if err != nil {
+		return nil, err
+	}
+	return &Payload{
+		RouteDB: dbJSON,
+		Timing:  timing,
+		SVG:     render.SVG(res, cr),
+		Layout:  render.Layout(res),
+		Summary: Summary{
+			DelayPs:      delay,
+			Violations:   viol,
+			AreaMm2:      cr.AreaMm2,
+			WirelenMm:    cr.TotalLenUm / 1000,
+			Tracks:       res.Dens.TotalTracks(),
+			AddedPitches: res.AddedPitches,
+			Nets:         len(res.Ckt.Nets),
+			Constraints:  len(res.Ckt.Cons),
+		},
+	}, nil
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServiceStress hammers one server from 16 goroutines: 4 distinct
+// circuits submitted 4× each, so the run exercises the worker pool, the
+// in-flight dedup map, the LRU cache and the cancel path concurrently.
+// Run under -race (CI does) to certify the pool and cache are race-clean.
+func TestServiceStress(t *testing.T) {
+	base := readExample(t)
+	variant := func(i int) string {
+		return strings.Replace(base, "circuit invchain", fmt.Sprintf("circuit invchain%d", i), 1)
+	}
+
+	svc := New(Options{Workers: 4, QueueDepth: 128, CacheSize: 8})
+	defer svc.Shutdown(context.Background())
+
+	const (
+		distinct = 4
+		repeats  = 4
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, distinct*repeats)
+	for g := 0; g < distinct*repeats; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ckt := variant(g % distinct)
+			res, err := svc.Submit(SubmitRequest{Circuit: ckt})
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d: submit: %w", g, err)
+				return
+			}
+			// A few submitters cancel instead of waiting; with dedup in
+			// play the shared job may be cancelled under other waiters,
+			// so any terminal state is legal for them.
+			if g%7 == 3 {
+				svc.Cancel(res.Job.ID)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			st, err := svc.Wait(ctx, res.Job.ID)
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d: wait: %w (state %s)", g, err, st.State)
+				return
+			}
+			if st.State == Failed {
+				errs <- fmt.Errorf("goroutine %d: job failed: %s", g, st.Error)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Conservation: every accepted job reached exactly one terminal
+	// state, nothing is left in flight, and the cache never exceeds the
+	// distinct-design count.
+	m := svc.Metrics()
+	if got := m.JobsCompleted + m.JobsFailed + m.JobsCancelled; got != m.JobsAccepted {
+		t.Errorf("terminal jobs = %d, accepted = %d", got, m.JobsAccepted)
+	}
+	if m.JobsFailed != 0 {
+		t.Errorf("jobs_failed = %d, want 0", m.JobsFailed)
+	}
+	if m.QueueDepth != 0 {
+		t.Errorf("queue_depth = %d after drain", m.QueueDepth)
+	}
+	if m.CacheEntries > distinct {
+		t.Errorf("cache_entries = %d, want <= %d", m.CacheEntries, distinct)
+	}
+	if total := m.JobsAccepted + m.JobsDeduped + m.CacheHits; total != distinct*repeats {
+		t.Errorf("accepted+deduped+cache_hits = %d, want %d", total, distinct*repeats)
+	}
+}
+
+// TestServiceStressHTTPWaves repeats whole waves of identical
+// submissions so later waves hit the cache while earlier jobs are still
+// draining, mixing cache reads and writes under -race.
+func TestServiceStressWaves(t *testing.T) {
+	base := readExample(t)
+	variant := func(i int) string {
+		return strings.Replace(base, "circuit invchain", fmt.Sprintf("circuit wave%d", i), 1)
+	}
+	svc := New(Options{Workers: 3, QueueDepth: 64, CacheSize: 2})
+	defer svc.Shutdown(context.Background())
+
+	for wave := 0; wave < 3; wave++ {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				res, err := svc.Submit(SubmitRequest{Circuit: variant(g % 3)})
+				if err != nil {
+					t.Errorf("wave submit: %v", err)
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				st, err := svc.Wait(ctx, res.Job.ID)
+				if err != nil || st.State != Done {
+					t.Errorf("wave wait: err=%v state=%s (%s)", err, st.State, st.Error)
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	m := svc.Metrics()
+	if m.CacheEntries > 2 {
+		t.Errorf("cache exceeded its bound: %d entries", m.CacheEntries)
+	}
+	if m.CacheHits == 0 {
+		t.Errorf("expected cache hits across waves, got none")
+	}
+}
