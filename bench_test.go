@@ -423,3 +423,63 @@ func BenchmarkIteratedECO(b *testing.B) {
 	b.ReportMetric(prev.Delay, "before_ps")
 	b.ReportMetric(delay, "after_ps")
 }
+
+// BenchmarkSelectEdge measures one full §3.4 candidate-selection sweep on
+// a probe router: cold (every net rescored, sequential vs parallel pool)
+// and warm (every score served from the incremental per-net cache).
+func BenchmarkSelectEdge(b *testing.B) {
+	for _, name := range []string{"C1P1", "C3P1"} {
+		ckt := mustDataset(b, name)
+		for _, pool := range []struct {
+			tag     string
+			workers int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(name+"/cold/"+pool.tag, func(b *testing.B) {
+				p, err := core.NewProbe(ckt, core.Config{UseConstraints: true, Workers: pool.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.InvalidateAll()
+					if _, _, ok := p.SelectEdge(false); !ok {
+						b.Fatal("no candidate")
+					}
+				}
+			})
+		}
+		b.Run(name+"/warm", func(b *testing.B) {
+			p, err := core.NewProbe(ckt, core.Config{UseConstraints: true, Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.SelectEdge(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := p.SelectEdge(false); !ok {
+					b.Fatal("no candidate")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDPrime measures the tentative-length d′ Dijkstra over every
+// candidate edge of every net, with the d′ cache bypassed.
+func BenchmarkDPrime(b *testing.B) {
+	for _, name := range []string{"C1P1", "C3P1"} {
+		ckt := mustDataset(b, name)
+		b.Run(name, func(b *testing.B) {
+			p, err := core.NewProbe(ckt, core.Config{UseConstraints: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += p.DPrimeSweep()
+			}
+			_ = sink
+		})
+	}
+}

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/gen"
@@ -31,8 +34,18 @@ func main() {
 		scaling  = flag.Bool("scaling", false, "print a runtime-scaling table instead of the paper tables")
 		baseline = flag.Bool("baseline", false, "append a sequential net-at-a-time baseline block")
 		robust   = flag.Int("robust", 0, "evaluate N fresh generator seeds and print the robustness statistics")
+		benchOut = flag.String("bench", "", "measure per-dataset routing wall-clock and write a BENCH_route.json document to this file")
+		repeats  = flag.Int("repeats", 5, "repetitions per dataset/mode for -bench (best time is reported)")
 	)
 	flag.Parse()
+
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, *repeats); err != nil {
+			fmt.Fprintln(os.Stderr, "bgr-paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *robust > 0 {
 		for _, style := range []gen.PlacementStyle{gen.P1, gen.P2} {
@@ -122,4 +135,96 @@ func main() {
 				name, run.DelayPs, run.AreaMm2, run.LengthMm, run.CPUSec)
 		}
 	}
+}
+
+// benchBaselineMs is the pre-optimization wall-clock of the full routing
+// pipeline (route + channel route + final delay) per dataset and mode,
+// milliseconds, measured with BenchmarkTable2 on the sequential scanner
+// before the incremental selection engine landed. Kept as the fixed
+// reference that BENCH_route.json speedups are computed against.
+var benchBaselineMs = map[string]float64{
+	"C1P1/constrained": 13.5, "C1P1/unconstrained": 9.2,
+	"C1P2/constrained": 16.3, "C1P2/unconstrained": 10.2,
+	"C2P1/constrained": 38.1, "C2P1/unconstrained": 25.5,
+	"C2P2/constrained": 39.9, "C2P2/unconstrained": 24.0,
+	"C3P1/constrained": 90.2, "C3P1/unconstrained": 62.5,
+}
+
+// benchEntry is one BENCH_route.json row.
+type benchEntry struct {
+	Name       string  `json:"name"`
+	Mode       string  `json:"mode"`
+	BaselineMs float64 `json:"baseline_ms"`
+	CurrentMs  float64 `json:"current_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchDoc is the BENCH_route.json document.
+type benchDoc struct {
+	Description string       `json:"description"`
+	Repeats     int          `json:"repeats"`
+	Entries     []benchEntry `json:"entries"`
+}
+
+// writeBench times experiment.RunCircuit (the whole pipeline, like
+// BenchmarkTable2) on every dataset and mode, keeping the best of
+// `repeats` runs, and writes the comparison against benchBaselineMs.
+func writeBench(path string, repeats int) error {
+	if repeats < 1 {
+		repeats = 1
+	}
+	doc := benchDoc{
+		Description: "routing wall-clock per dataset/mode, best of N; baseline_ms is the pre-selection-engine sequential scanner",
+		Repeats:     repeats,
+	}
+	for _, name := range gen.DatasetNames() {
+		p, err := gen.Dataset(name)
+		if err != nil {
+			return err
+		}
+		ckt, err := gen.Generate(p)
+		if err != nil {
+			return err
+		}
+		for _, mode := range []struct {
+			tag string
+			use bool
+		}{{"constrained", true}, {"unconstrained", false}} {
+			best, err := benchOne(ckt, core.Config{UseConstraints: mode.use}, repeats)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", name, mode.tag, err)
+			}
+			e := benchEntry{
+				Name:       name,
+				Mode:       mode.tag,
+				BaselineMs: benchBaselineMs[name+"/"+mode.tag],
+				CurrentMs:  float64(best) / float64(time.Millisecond),
+			}
+			if e.BaselineMs > 0 && e.CurrentMs > 0 {
+				e.Speedup = e.BaselineMs / e.CurrentMs
+			}
+			doc.Entries = append(doc.Entries, e)
+			fmt.Printf("bench %-6s %-14s %8.2f ms (baseline %6.1f ms, %.2fx)\n",
+				e.Name, e.Mode, e.CurrentMs, e.BaselineMs, e.Speedup)
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func benchOne(ckt *circuit.Circuit, cfg core.Config, repeats int) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if _, err := experiment.RunCircuit(ckt, cfg); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
 }

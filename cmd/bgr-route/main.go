@@ -51,6 +51,7 @@ func main() {
 		dbOut   = flag.String("db", "", "write the routing database (JSON handoff) to this file")
 		congest = flag.Bool("congestion", false, "print the per-channel congestion table")
 		phases  = flag.Bool("phases", false, "print the per-phase wall-clock breakdown")
+		workers = flag.Int("workers", 0, "candidate-scoring workers (0 = one per CPU, 1 = sequential; result is identical)")
 	)
 	flag.Parse()
 
@@ -58,7 +59,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.Config{UseConstraints: !*uncon}
+	cfg := core.Config{UseConstraints: !*uncon, Workers: *workers}
 	if *elmore {
 		cfg.DelayModel = core.Elmore
 		cfg.RPerUm = *rPerUm
@@ -206,10 +207,11 @@ func main() {
 	fmt.Printf("route time   %v\n", res.Duration.Round(time.Microsecond))
 	if *phases {
 		fmt.Println()
-		fmt.Println("phase                    deletions  reroutes  accepted      time")
+		fmt.Println("phase                    deletions  reroutes  accepted      time    select    scored    reused")
 		for _, ps := range res.Phases {
-			fmt.Printf("%-24s %9d %9d %9d %9v\n",
-				ps.Name, ps.Deletions, ps.Reroutes, ps.Accepted, ps.Duration.Round(time.Microsecond))
+			fmt.Printf("%-24s %9d %9d %9d %9v %9v %9d %9d\n",
+				ps.Name, ps.Deletions, ps.Reroutes, ps.Accepted, ps.Duration.Round(time.Microsecond),
+				ps.SelectDuration.Round(time.Microsecond), ps.ScoredNets, ps.ReusedNets)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,22 +24,39 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers    = flag.Int("workers", 2, "routing worker pool size")
-		queue      = flag.Int("queue", 64, "job queue depth")
-		cache      = flag.Int("cache", 32, "result cache entries (negative disables)")
-		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job routing deadline")
-		drain      = flag.Duration("drain", time.Minute, "shutdown grace period for queued jobs")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers     = flag.Int("workers", 2, "routing worker pool size")
+		queue       = flag.Int("queue", 64, "job queue depth")
+		cache       = flag.Int("cache", 32, "result cache entries (negative disables)")
+		jobTimeout  = flag.Duration("job-timeout", 5*time.Minute, "per-job routing deadline")
+		drain       = flag.Duration("drain", time.Minute, "shutdown grace period for queued jobs")
+		scoreWork   = flag.Int("score-workers", 0, "default per-job candidate-scoring workers (0 = one per CPU)")
+		enablePprof = flag.Bool("pprof", true, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
-		JobTimeout: *jobTimeout,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		JobTimeout:   *jobTimeout,
+		ScoreWorkers: *scoreWork,
 	})
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *enablePprof {
+		// Mount the profiling endpoints next to the API so a running
+		// service can be profiled in place:
+		//   go tool pprof http://ADDR/debug/pprof/profile?seconds=10
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

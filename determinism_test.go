@@ -1,0 +1,74 @@
+// Determinism tests for the parallel candidate-scoring engine: the routed
+// result must be byte-identical for every worker count, on every data set,
+// in both routing modes. The engine's only nondeterminism risk is the
+// cross-net argmin, which is computed sequentially from cached per-net
+// keys precisely so that worker scheduling cannot leak into the result.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/chanroute"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/routedb"
+)
+
+// routedbJSON routes with the given worker count and renders the complete
+// routing database, the strictest byte-level fingerprint of a run.
+func routedbJSON(t *testing.T, ckt *circuit.Circuit, cfg core.Config) []byte {
+	t.Helper()
+	res, err := core.Route(ckt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := chanroute.Route(res.Ckt, res.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := routedb.Build(res, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := routedb.Marshal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestParallelScoringDeterministic routes every data set in both modes
+// with the sequential scorer (Workers=1) and with parallel worker pools,
+// and requires byte-identical routedb JSON.
+func TestParallelScoringDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset sweep in -short mode")
+	}
+	pools := []int{2, runtime.GOMAXPROCS(0)}
+	for _, name := range gen.DatasetNames() {
+		p, err := gen.Dataset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckt, err := gen.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, use := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%s/constraints=%v", name, use), func(t *testing.T) {
+				want := routedbJSON(t, ckt, core.Config{UseConstraints: use, Workers: 1})
+				for _, w := range pools {
+					got := routedbJSON(t, ckt, core.Config{UseConstraints: use, Workers: w})
+					if !bytes.Equal(got, want) {
+						t.Fatalf("workers=%d routed differently from workers=1 (%d vs %d bytes)",
+							w, len(got), len(want))
+					}
+				}
+			})
+		}
+	}
+}

@@ -32,6 +32,12 @@ type Segment struct {
 	Width  int // pitch width (occupies Width tracks)
 	Track  int // assigned bottom track index, -1 for straight-throughs
 	Dogleg bool
+
+	// ord is Solve scratch: the segment's index within the current unplaced
+	// set (valid only while unplaced[ord] == s).
+	ord int
+	// mark is vcgPairs scratch for per-top-segment dedup.
+	mark int
 }
 
 // Channel is the routing problem of one channel.
@@ -227,7 +233,7 @@ func Solve(ch *Channel) {
 		// Candidates: segments whose below-set is fully placed.
 		var cands []*Segment
 		for _, s := range unplaced {
-			if below[s] == 0 {
+			if below[s.ord] == 0 {
 				cands = append(cands, s)
 			}
 		}
@@ -255,13 +261,13 @@ func Solve(ch *Channel) {
 		// the widest member.
 		rowEnd := -1
 		widest := 1
-		placed := map[*Segment]bool{}
+		placed := make([]bool, len(unplaced))
 		for _, s := range cands {
 			if s.Lo <= rowEnd {
 				continue
 			}
 			s.Track = track
-			placed[s] = true
+			placed[s.ord] = true
 			rowEnd = s.Hi
 			if s.Width > widest {
 				widest = s.Width
@@ -269,7 +275,7 @@ func Solve(ch *Channel) {
 		}
 		next := unplaced[:0]
 		for _, s := range unplaced {
-			if !placed[s] {
+			if !placed[s.ord] {
 				next = append(next, s)
 			}
 		}
@@ -283,13 +289,39 @@ func Solve(ch *Channel) {
 // among the given segments; the counts per iteration then cost O(pairs)
 // instead of O(n²) pin scans.
 func vcgPairs(segs []*Segment) [][2]*Segment {
+	// Index bottom pins by column so each top pin probes only the segments
+	// that actually share its column, instead of the O(n²·pins²) all-pairs
+	// mustBeAbove scan.
+	maxCol := -1
+	for _, s := range segs {
+		s.mark = 0
+		for _, p := range s.Pins {
+			if p.Col > maxCol {
+				maxCol = p.Col
+			}
+		}
+	}
+	botAt := make([][]*Segment, maxCol+1)
+	for _, s := range segs {
+		for _, p := range s.Pins {
+			if !p.FromTop {
+				botAt[p.Col] = append(botAt[p.Col], s)
+			}
+		}
+	}
 	var pairs [][2]*Segment
+	gen := 0
 	for _, top := range segs {
-		for _, bot := range segs {
-			if top == bot || top.Net == bot.Net {
+		gen++
+		for _, p := range top.Pins {
+			if !p.FromTop {
 				continue
 			}
-			if mustBeAbove(top, bot) {
+			for _, bot := range botAt[p.Col] {
+				if bot == top || bot.Net == top.Net || bot.mark == gen {
+					continue
+				}
+				bot.mark = gen // emit each (top, bot) pair once
 				pairs = append(pairs, [2]*Segment{top, bot})
 			}
 		}
@@ -297,21 +329,20 @@ func vcgPairs(segs []*Segment) [][2]*Segment {
 	return pairs
 }
 
-// belowCounts returns, for each unplaced segment, how many still-unplaced
-// segments must lie below it.
-func belowCounts(unplaced []*Segment, pairs [][2]*Segment) map[*Segment]int {
-	below := make(map[*Segment]int, len(unplaced))
-	for _, s := range unplaced {
-		below[s] = 0
+// belowCounts returns, for each unplaced segment (indexed by the ord field
+// it assigns), how many still-unplaced segments must lie below it.
+func belowCounts(unplaced []*Segment, pairs [][2]*Segment) []int {
+	for i, s := range unplaced {
+		s.ord = i
 	}
+	in := func(s *Segment) bool {
+		return s.ord < len(unplaced) && unplaced[s.ord] == s
+	}
+	below := make([]int, len(unplaced))
 	for _, pr := range pairs {
-		if _, a := below[pr[0]]; !a {
-			continue
+		if in(pr[0]) && in(pr[1]) {
+			below[pr[0].ord]++
 		}
-		if _, b := below[pr[1]]; !b {
-			continue
-		}
-		below[pr[0]]++
 	}
 	return below
 }

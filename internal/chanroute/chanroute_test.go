@@ -243,7 +243,7 @@ func TestBelowCountsMatchNaive(t *testing.T) {
 					want++
 				}
 			}
-			if got[top] != want {
+			if got[top.ord] != want {
 				return false
 			}
 		}

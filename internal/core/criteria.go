@@ -1,24 +1,163 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"repro/internal/circuit"
 	"repro/internal/rgraph"
 )
 
 // delayCrit caches the §3.2 delay criteria of one candidate edge: the
 // critical count Cd (eq. 3), the global delay penalty Gl (eq. 4) and the
-// local delay increase LD.
+// local delay increase LD. An entry is valid while the owning net's
+// timing epoch is unchanged (see router.timEpoch).
 type delayCrit struct {
-	cd       int
-	gl       float64
-	ld       float64
-	staEpoch int
-	netEpoch int
-	valid    bool
+	cd    int
+	gl    float64
+	ld    float64
+	tim   int
+	valid bool
 }
 
 type candidate struct {
 	net, edge int
+}
+
+// candKey is a candidate's fully evaluated comparison key: the §3.4
+// criteria flattened so that ordering two candidates is a plain
+// lexicographic comparison (with the fEps tolerance on floats) instead of
+// re-deriving delay criteria and density interval stats per comparison.
+type candKey struct {
+	cd     int
+	gl, ld float64
+	trunk  bool
+	// The four density differences of conditions 2-5 (channel parameter
+	// minus edge interval parameter).
+	fm, nm, fM, nM int
+	edgeLen        float64
+}
+
+// keyFor evaluates a candidate's comparison key against the current state.
+func (r *router) keyFor(c candidate, sc *scratch) candKey {
+	var k candKey
+	if r.cfg.UseConstraints {
+		dc := r.delayCriteriaSc(c.net, c.edge, sc)
+		k.cd, k.gl, k.ld = dc.cd, dc.gl, dc.ld
+	}
+	ed := r.edgeOf(c)
+	k.trunk = ed.Kind == rgraph.ETrunk
+	cs := r.dens.Channel(ed.Ch)
+	es := r.dens.Edge(ed.Ch, ed.X1, ed.X2)
+	k.fm = cs.Cm - es.Dm
+	k.nm = cs.NCm - es.NDm
+	k.fM = cs.CM - es.DM
+	k.nM = cs.NCM - es.NDM
+	k.edgeLen = ed.Len
+	return k
+}
+
+// keyLess orders two evaluated candidates exactly like the original
+// pairwise §3.4/§3.5 comparison (see lessSc's documentation).
+func (r *router) keyLess(ka, kb *candKey, a, b candidate, areaOrder bool) bool {
+	if r.cfg.UseConstraints {
+		if ka.cd != kb.cd {
+			return ka.cd < kb.cd
+		}
+		if !areaOrder {
+			if diff := ka.gl - kb.gl; diff < -fEps || diff > fEps {
+				return diff < 0
+			}
+			if diff := ka.ld - kb.ld; diff < -fEps || diff > fEps {
+				return diff < 0
+			}
+		}
+		if c := keyDensCompare(ka, kb); c != 0 {
+			return c < 0
+		}
+		if areaOrder {
+			if diff := ka.gl - kb.gl; diff < -fEps || diff > fEps {
+				return diff < 0
+			}
+			if diff := ka.ld - kb.ld; diff < -fEps || diff > fEps {
+				return diff < 0
+			}
+		}
+	} else if c := keyDensCompare(ka, kb); c != 0 {
+		return c < 0
+	}
+	if diff := ka.edgeLen - kb.edgeLen; diff < -fEps || diff > fEps {
+		return diff > 0 // longer edge preferred for deletion
+	}
+	if a.net != b.net {
+		return a.net < b.net
+	}
+	return a.edge < b.edge
+}
+
+// keyDensCompare is densCompare over evaluated keys.
+func keyDensCompare(ka, kb *candKey) int {
+	if ka.trunk != kb.trunk {
+		if ka.trunk {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case ka.fm != kb.fm:
+		if ka.fm < kb.fm {
+			return -1
+		}
+		return 1
+	case ka.nm != kb.nm:
+		if ka.nm < kb.nm {
+			return -1
+		}
+		return 1
+	case ka.fM != kb.fM:
+		if ka.fM < kb.fM {
+			return -1
+		}
+		return 1
+	case ka.nM != kb.nM:
+		if ka.nM < kb.nM {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// netBest is one net's cached selection result: the edge the §3.4/§3.5
+// total order ranks first among the net's own candidates, plus its
+// evaluated key so the cross-net argmin never re-derives criteria. It
+// stays valid while (a) the net's timing epoch is unchanged — covering its
+// graph, its differential mate and every constraint touching either — and
+// (b) none of the channels the net's edges read density criteria from has
+// changed.
+type netBest struct {
+	edge      int  // best candidate edge id, -1 when the net has none
+	key       candKey
+	areaOrder bool // criteria ordering the ranking was computed under
+	tim       int  // timEpoch snapshot
+	chanV     []uint64 // density version snapshots, indexed like netChans[n]
+	valid     bool
+}
+
+// scratch is per-worker scoring scratch space: the constraint-dedup marks
+// that used to be a per-candidate map allocation, and the non-bridge
+// candidate buffer that used to be a per-net slice allocation. The router
+// owns one for all sequential work; parallel re-scoring gives each worker
+// its own.
+type scratch struct {
+	consMark []int // consMark[p] == consGen marks constraint p as counted
+	consGen  int
+}
+
+func (r *router) newScratch() *scratch {
+	return &scratch{consMark: make([]int, len(r.ckt.Cons))}
 }
 
 // dPrime returns d'(e): the tentative-tree length of the net if edge e
@@ -30,10 +169,10 @@ func (r *router) dPrime(n, e int) float64 {
 		return r.wl[n]
 	}
 	if r.dpCache[n] == nil {
-		r.dpCache[n] = make(map[int]float64)
+		r.dpCache[n] = make([]dpEntry, len(r.graphs[n].Edges))
 	}
-	if v, ok := r.dpCache[n][e]; ok {
-		return v
+	if ent := &r.dpCache[n][e]; ent.epoch == r.geoEpoch[n] {
+		return ent.val
 	}
 	l, err := r.graphs[n].LengthExcluding(e)
 	if err != nil {
@@ -41,8 +180,15 @@ func (r *router) dPrime(n, e int) float64 {
 		// unchanged — selection will skip it next round.
 		l = r.wl[n]
 	}
-	r.dpCache[n][e] = l
+	r.dpCache[n][e] = dpEntry{val: l, epoch: r.geoEpoch[n]}
 	return l
+}
+
+// dpEntry is one cached d'(e) value, valid while the net's geometry epoch
+// (alive-edge set) is unchanged.
+type dpEntry struct {
+	val   float64
+	epoch int32
 }
 
 // affectedNets lists the nets whose wiring changes when (n, e) is deleted:
@@ -55,18 +201,43 @@ func (r *router) affectedNets(n int) []int {
 }
 
 // delayCriteria computes (with caching) the delay criteria of candidate
-// (n, e) against the current timing state.
+// (n, e) against the current timing state, using the router's sequential
+// scratch. Parallel scorers call delayCriteriaSc with their own scratch.
 func (r *router) delayCriteria(n, e int) delayCrit {
+	return r.delayCriteriaSc(n, e, r.sc)
+}
+
+func (r *router) delayCriteriaSc(n, e int, sc *scratch) delayCrit {
 	if r.dcCache[n] == nil {
 		r.dcCache[n] = make([]delayCrit, len(r.graphs[n].Edges))
 	}
 	c := &r.dcCache[n][e]
-	if c.valid && c.staEpoch == r.staEpoch && c.netEpoch == r.netEpoch[n] {
+	if c.valid && c.tim == r.timEpoch[n] {
 		return *c
 	}
-	out := delayCrit{staEpoch: r.staEpoch, netEpoch: r.netEpoch[n], valid: true}
+	out := delayCrit{tim: r.timEpoch[n], valid: true}
 
-	nets := r.affectedNets(n)
+	var netsArr [2]int
+	netsArr[0] = n
+	nn := 1
+	if m := r.pairOf[n]; m != circuit.NoNet {
+		netsArr[1] = m
+		nn = 2
+	}
+	nets := netsArr[:nn]
+	// A net (pair) touching no constraint has identically zero criteria:
+	// the P(e) loop below would not execute, so skip the d' Dijkstra runs.
+	hasCons := false
+	for _, a := range nets {
+		if len(r.dg.ConsOfNet(a)) > 0 {
+			hasCons = true
+			break
+		}
+	}
+	if !hasCons {
+		*c = out
+		return out
+	}
 	// New and current lumped arc delays per affected net. The LM criteria
 	// use the lumped form even under the Elmore model; the paper notes
 	// the heuristics are independent of the delay-model choice.
@@ -74,27 +245,31 @@ func (r *router) delayCriteria(n, e int) delayCrit {
 		net        int
 		dNew, dCur float64
 	}
-	deltas := make([]netDelta, 0, 2)
+	var deltas [2]netDelta
+	nd := 0
 	for _, a := range nets {
 		dNewLen := r.dPrime(a, e)
-		deltas = append(deltas, netDelta{
+		deltas[nd] = netDelta{
 			net:  a,
 			dNew: r.dg.LumpedArcDelay(a, dNewLen),
 			dCur: r.dg.LumpedArcDelay(a, r.wl[a]),
-		})
+		}
+		nd++
 	}
-	// P(e): constraints whose Gd(P) contains arcs of any affected net.
-	seen := map[int]bool{}
+	// P(e): constraints whose Gd(P) contains arcs of any affected net,
+	// deduplicated with the scratch marks (a map allocation per candidate
+	// before).
+	sc.consGen++
 	for _, a := range nets {
 		for _, p := range r.dg.ConsOfNet(a) {
-			if seen[p] {
+			if sc.consMark[p] == sc.consGen {
 				continue
 			}
-			seen[p] = true
+			sc.consMark[p] = sc.consGen
 			margin := r.tm.Cons[p].Margin
 			tau := r.ckt.Cons[p].Limit
 			var worst float64
-			for _, d := range deltas {
+			for _, d := range deltas[:nd] {
 				if dd := r.tm.DeltaIfNetDelay(p, d.net, d.dNew); dd > worst {
 					worst = dd
 				}
@@ -104,7 +279,7 @@ func (r *router) delayCriteria(n, e int) delayCrit {
 				out.cd++
 			}
 			out.gl += pen(lm, tau) - pen(margin, tau)
-			for _, d := range deltas {
+			for _, d := range deltas[:nd] {
 				if inc := d.dNew - d.dCur; inc > 0 {
 					out.ld += inc * float64(r.arcsInGd(p, d.net))
 				}
@@ -126,72 +301,204 @@ func (r *router) arcsInGd(p, n int) int {
 	return count
 }
 
-// selectEdge scans the deletion candidates (over all nets, or only the
-// given ones) and returns the edge the §3.4 heuristics choose. ok is false
-// when no non-bridge edge remains.
+// selectEdge returns the deletion candidate the §3.4 (or §3.5 area)
+// heuristics choose over the given nets (nil means all) — the same argmin
+// the full scan produced, computed incrementally: each net's ranked best
+// is cached and re-scored only when something it depends on changed, and
+// the re-scoring of independent nets fans out across Config.Workers. The
+// final cross-net argmin is sequential in net-index order, so the result
+// is deterministic and independent of the worker count. ok is false when
+// no non-bridge edge remains.
 func (r *router) selectEdge(restrict []int, areaOrder bool) (candidate, bool) {
-	nets := restrict
-	if nets == nil {
-		nets = allNets(len(r.graphs))
-	}
-	best := candidate{net: -1}
-	for _, n := range nets {
-		for _, e := range r.graphs[n].NonBridges() {
-			c := candidate{net: n, edge: e}
-			if best.net == -1 || r.less(c, best, areaOrder) {
-				best = c
+	start := time.Now()
+	// Materialize every channel's stats: parallel scorers then only read
+	// the density state.
+	r.dens.Flush()
+
+	nNets := len(r.graphs)
+	forEach := func(f func(n int)) {
+		if restrict != nil {
+			for _, n := range restrict {
+				f(n)
 			}
+			return
+		}
+		for n := 0; n < nNets; n++ {
+			f(n)
 		}
 	}
+
+	// Collect the nets whose cached ranking is stale, grouped into
+	// scoring units by differential-pair leader: a unit owns both halves
+	// of a pair (their criteria read each other's state), so units touch
+	// disjoint data and can score in parallel without locks.
+	stale := r.staleBuf[:0]
+	units := r.unitBuf[:0]
+	forEach(func(n int) {
+		if r.bestValid(n, areaOrder) {
+			return
+		}
+		stale = append(stale, n)
+		l := n
+		if m := r.pairOf[n]; m != circuit.NoNet && m < n {
+			l = m
+		}
+		if len(units) == 0 || units[len(units)-1] != l {
+			// restrict lists pairs adjacently and the full scan is in
+			// index order, so equal leaders arrive consecutively.
+			units = append(units, l)
+		}
+	})
+	r.staleBuf = stale
+	r.unitBuf = units
+
+	if w := r.workers(); w > 1 && len(units) > 1 {
+		r.scoreParallel(units, areaOrder, w)
+	} else {
+		for _, l := range units {
+			r.scoreUnit(l, areaOrder, r.sc)
+		}
+	}
+
+	// Sequential cross-net argmin over the cached per-net bests — pure
+	// key comparisons, nothing recomputed.
+	best := candidate{net: -1}
+	var bestKey *candKey
+	forEach(func(n int) {
+		b := &r.best[n]
+		if b.edge < 0 {
+			return
+		}
+		c := candidate{net: n, edge: b.edge}
+		if best.net == -1 || r.keyLess(&b.key, bestKey, c, best, areaOrder) {
+			best, bestKey = c, &b.key
+		}
+	})
+
+	scanned := nNets
+	if restrict != nil {
+		scanned = len(restrict)
+	}
+	r.selStat.calls++
+	r.selStat.scored += len(stale)
+	r.selStat.reused += scanned - len(stale)
+	r.selStat.dur += time.Since(start)
 	return best, best.net != -1
+}
+
+// workers resolves Config.Workers: 0 means every available CPU.
+func (r *router) workers() int {
+	if r.cfg.Workers > 0 {
+		return r.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// scoreParallel re-scores the stale units on a bounded worker pool. Units
+// are data-disjoint (see selectEdge), each worker uses its own scratch,
+// and the shared router state (timing, density, lengths, trees) is
+// read-only during the fan-out, so the scoring is race-free by
+// construction — and byte-identical to the sequential path because each
+// unit's result does not depend on scheduling.
+func (r *router) scoreParallel(units []int, areaOrder bool, w int) {
+	if w > len(units) {
+		w = len(units)
+	}
+	for len(r.scratches) < w {
+		r.scratches = append(r.scratches, r.newScratch())
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(sc *scratch) {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= len(units) {
+					return
+				}
+				r.scoreUnit(units[u], areaOrder, sc)
+			}
+		}(r.scratches[i])
+	}
+	wg.Wait()
+}
+
+// scoreUnit recomputes the cached ranking of a pair leader and, for a
+// differential pair, its mate.
+func (r *router) scoreUnit(leader int, areaOrder bool, sc *scratch) {
+	r.scoreNet(leader, areaOrder, sc)
+	if m := r.pairOf[leader]; m != circuit.NoNet && !r.bestValid(m, areaOrder) {
+		r.scoreNet(m, areaOrder, sc)
+	}
+}
+
+// scoreNet recomputes net n's ranked best candidate and stamps the cache
+// with the state it was computed under.
+func (r *router) scoreNet(n int, areaOrder bool, sc *scratch) {
+	b := &r.best[n]
+	b.edge = -1
+	b.areaOrder = areaOrder
+	b.tim = r.timEpoch[n]
+	chans := r.netChans[n]
+	if cap(b.chanV) < len(chans) {
+		b.chanV = make([]uint64, len(chans))
+	}
+	b.chanV = b.chanV[:len(chans)]
+	for i, ch := range chans {
+		b.chanV[i] = r.dens.Version(ch)
+	}
+	if r.nbEpoch[n] != r.geoEpoch[n] {
+		r.nbList[n] = r.graphs[n].AppendNonBridges(r.nbList[n][:0])
+		r.nbEpoch[n] = r.geoEpoch[n]
+	}
+	nb := r.nbList[n]
+	for _, e := range nb {
+		c := candidate{net: n, edge: e}
+		k := r.keyFor(c, sc)
+		if b.edge == -1 || r.keyLess(&k, &b.key, c, candidate{net: n, edge: b.edge}, areaOrder) {
+			b.edge, b.key = e, k
+		}
+	}
+	b.valid = true
+}
+
+// bestValid reports whether net n's cached ranking still reflects the
+// current router state under the requested criteria ordering.
+func (r *router) bestValid(n int, areaOrder bool) bool {
+	b := &r.best[n]
+	if !b.valid || b.areaOrder != areaOrder || b.tim != r.timEpoch[n] {
+		return false
+	}
+	chans := r.netChans[n]
+	if len(b.chanV) != len(chans) {
+		return false
+	}
+	for i, ch := range chans {
+		if b.chanV[i] != r.dens.Version(ch) {
+			return false
+		}
+	}
+	return true
 }
 
 const fEps = 1e-9
 
-// less reports whether candidate a should be deleted in preference to b.
+// less reports whether candidate a should be deleted in preference to b,
+// using the router's sequential scratch.
 //
 // Initial/delay ordering (§3.4): Cd, Gl, LD, then the five density
 // conditions, then the longer edge. Area ordering (§3.5): Cd, density
 // conditions, Gl, LD, longer edge. Without constraints only the density
 // conditions apply. Ties end at a deterministic index order.
 func (r *router) less(a, b candidate, areaOrder bool) bool {
-	if r.cfg.UseConstraints {
-		da := r.delayCriteria(a.net, a.edge)
-		db := r.delayCriteria(b.net, b.edge)
-		if da.cd != db.cd {
-			return da.cd < db.cd
-		}
-		if !areaOrder {
-			if diff := da.gl - db.gl; diff < -fEps || diff > fEps {
-				return diff < 0
-			}
-			if diff := da.ld - db.ld; diff < -fEps || diff > fEps {
-				return diff < 0
-			}
-		}
-		if c := r.densCompare(a, b); c != 0 {
-			return c < 0
-		}
-		if areaOrder {
-			if diff := da.gl - db.gl; diff < -fEps || diff > fEps {
-				return diff < 0
-			}
-			if diff := da.ld - db.ld; diff < -fEps || diff > fEps {
-				return diff < 0
-			}
-		}
-	} else if c := r.densCompare(a, b); c != 0 {
-		return c < 0
-	}
-	// Longer edge preferred for deletion.
-	ea, eb := r.edgeOf(a), r.edgeOf(b)
-	if diff := ea.Len - eb.Len; diff < -fEps || diff > fEps {
-		return diff > 0
-	}
-	if a.net != b.net {
-		return a.net < b.net
-	}
-	return a.edge < b.edge
+	return r.lessSc(a, b, areaOrder, r.sc)
+}
+
+func (r *router) lessSc(a, b candidate, areaOrder bool, sc *scratch) bool {
+	ka, kb := r.keyFor(a, sc), r.keyFor(b, sc)
+	return r.keyLess(&ka, &kb, a, b, areaOrder)
 }
 
 func (r *router) edgeOf(c candidate) *rgraph.Edge {

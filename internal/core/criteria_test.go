@@ -127,7 +127,7 @@ func TestDelayCriteriaCacheConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := r.delayCriteria(n, e)
-	if c.netEpoch != r.netEpoch[n] || c.staEpoch != r.staEpoch {
+	if c.tim != r.timEpoch[n] {
 		t.Fatal("cache not refreshed after epoch bump")
 	}
 }
@@ -262,8 +262,8 @@ func TestReallocFeedsProposesOnlyFreeSlots(t *testing.T) {
 			w := r.ckt.Nets[nn].Pitch
 			for _, f := range feeds {
 				for j := 0; j < w; j++ {
-					owner, taken := r.slotOwner[[2]int{f.Row, f.Col + j}]
-					if taken && owner != nn && owner != r.pairOf[nn] {
+					owner := r.slotOwnerAt(f.Row, f.Col+j)
+					if owner >= 0 && owner != nn && owner != r.pairOf[nn] {
 						t.Fatalf("net %d offered slot (%d,%d) owned by net %d", nn, f.Row, f.Col+j, owner)
 					}
 				}

@@ -28,16 +28,8 @@ func ReOptimize(prev *Result, cfg Config) (*Result, error) {
 	if r.dg, err = dgraph.New(r.ckt); err != nil {
 		return nil, err
 	}
+	r.initNetState(nNets)
 	r.feeds = make([][]rgraph.FeedPos, nNets)
-	r.graphs = make([]*rgraph.Graph, nNets)
-	r.trees = make([]*rgraph.Tree, nNets)
-	r.wl = make([]float64, nNets)
-	r.pairOf = make([]int, nNets)
-	r.netEpoch = make([]int, nNets)
-	r.dcCache = make([][]delayCrit, nNets)
-	r.dpCache = make([]map[int]float64, nNets)
-	r.dens = densityFor(r.ckt)
-	r.slotOwner = make(map[[2]int]int)
 	for n := 0; n < nNets; n++ {
 		r.feeds[n] = append([]rgraph.FeedPos(nil), prev.Feeds[n]...)
 		r.graphs[n] = prev.Graphs[n].Clone()
@@ -47,6 +39,7 @@ func ReOptimize(prev *Result, cfg Config) (*Result, error) {
 	for n, g := range r.graphs {
 		r.densAddGraph(n, g)
 	}
+	r.buildIndexes()
 	r.tm = r.dg.NewTiming()
 	if err := r.refreshTrees(allNets(nNets)); err != nil {
 		return nil, err

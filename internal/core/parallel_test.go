@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// TestWorkersConfigIdenticalResult checks, on the in-package sample
+// circuits, that every Workers setting routes identically (the dataset
+// sweep lives in the repo-root determinism test).
+func TestWorkersConfigIdenticalResult(t *testing.T) {
+	for _, mk := range []func() *circuit.Circuit{circuit.SampleSmall, circuit.SampleDiff} {
+		ckt := mk()
+		base, err := Route(ckt, Config{UseConstraints: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{0, 2, 7} {
+			res, err := Route(mk(), Config{UseConstraints: true, Workers: w})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			if res.Delay != base.Delay || res.TotalWirelenUm != base.TotalWirelenUm {
+				t.Fatalf("workers=%d diverged: delay %v vs %v, wirelen %v vs %v",
+					w, res.Delay, base.Delay, res.TotalWirelenUm, base.TotalWirelenUm)
+			}
+			for n := range base.Graphs {
+				a, b := base.Graphs[n].AliveEdges(), res.Graphs[n].AliveEdges()
+				if len(a) != len(b) {
+					t.Fatalf("workers=%d net %d: %d alive edges vs %d", w, n, len(b), len(a))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("workers=%d net %d: edge sets differ", w, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentScoringStress exercises the parallel scorer under load:
+// several full routings run concurrently, each with an oversized worker
+// pool, so the race detector sees the per-net sharding from many angles.
+func TestConcurrentScoringStress(t *testing.T) {
+	const runs = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ckt := circuit.SampleSmall()
+			if i%2 == 1 {
+				ckt = circuit.SampleDiff()
+			}
+			if _, err := Route(ckt, Config{UseConstraints: true, Workers: 8}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

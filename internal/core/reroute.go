@@ -118,9 +118,11 @@ func (r *router) tryReroute(nets []int, altFeeds map[int][]rgraph.FeedPos, areaO
 			r.densRemoveGraph(nn, r.graphs[nn])
 			r.graphs[nn] = oldGraphs[nn]
 			r.densAddGraph(nn, r.graphs[nn])
-			r.netEpoch[nn]++
+			r.touchNet(nn)
+			r.geoEpoch[nn]++
 			r.dpCache[nn] = nil
 			r.dcCache[nn] = nil
+			r.recomputeNetChans(nn)
 		}
 		restoreFeeds()
 		return r.refreshTrees(nets)
@@ -141,9 +143,11 @@ func (r *router) tryReroute(nets []int, altFeeds map[int][]rgraph.FeedPos, areaO
 		}
 		r.graphs[nn] = g
 		r.densAddGraph(nn, g)
-		r.netEpoch[nn]++
+		r.touchNet(nn)
+		r.geoEpoch[nn]++
 		r.dpCache[nn] = nil
 		r.dcCache[nn] = nil
+		r.recomputeNetChans(nn)
 	}
 	if len(nets) == 2 {
 		if err := sameShape(r.graphs[nets[0]], r.graphs[nets[1]]); err != nil {
@@ -180,14 +184,18 @@ func (r *router) ownSlots(n int, feeds []rgraph.FeedPos, claim bool) {
 	w := r.ckt.Nets[n].Pitch
 	for _, f := range feeds {
 		for j := 0; j < w; j++ {
-			key := [2]int{f.Row, f.Col + j}
+			owner := int32(-1)
 			if claim {
-				r.slotOwner[key] = n
-			} else {
-				delete(r.slotOwner, key)
+				owner = int32(n)
 			}
+			r.slotOwner[f.Row*r.slotCols+f.Col+j] = owner
 		}
 	}
+}
+
+// slotOwnerAt returns the net occupying a feedthrough column, or -1.
+func (r *router) slotOwnerAt(row, col int) int {
+	return int(r.slotOwner[row*r.slotCols+col])
 }
 
 // reallocFeeds proposes moving the nets' feedthroughs to the free slot
@@ -214,8 +222,8 @@ func (r *router) reallocFeeds(nets []int) map[int][]rgraph.FeedPos {
 		}
 	}
 	occupied := func(row, col int) bool {
-		owner, taken := r.slotOwner[[2]int{row, col}]
-		if !taken {
+		owner := r.slotOwnerAt(row, col)
+		if owner < 0 {
 			return false
 		}
 		for _, nn := range nets {

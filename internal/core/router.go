@@ -40,6 +40,16 @@ type PhaseStat struct {
 	Reroutes int
 	Accepted int
 	Duration time.Duration
+	// SelectDuration is the part of Duration spent inside selectEdge —
+	// candidate scoring plus the cross-net argmin.
+	SelectDuration time.Duration
+	// SelectCalls counts selectEdge invocations in the phase.
+	SelectCalls int
+	// ScoredNets counts nets whose candidate ranking had to be recomputed
+	// (cache miss); ReusedNets counts nets served from the per-net cache.
+	// Their ratio is the effectiveness of the incremental engine.
+	ScoredNets int
+	ReusedNets int
 }
 
 // Result is a finished global routing.
@@ -99,16 +109,52 @@ type router struct {
 	wl     []float64
 	dens   *density.State
 	pairOf []int // diff mate or -1
-	// slotOwner maps occupied feedthrough columns (row, col) to their net.
-	slotOwner map[[2]int]int
+	// slotOwner records the net occupying each feedthrough column, as a
+	// flat row-major array (-1 = free); feed re-allocation probes it once
+	// per candidate slot, so it must be an O(1) array read.
+	slotOwner []int32
+	slotCols  int
 
-	// criteria caches (see criteria.go)
-	staEpoch int
-	netEpoch []int
+	// Criteria caches (see criteria.go). timEpoch[n] advances whenever
+	// anything net n's criteria read changes: its own graph, its
+	// differential mate's, or the margin of a constraint touching either.
+	// dcCache entries and the per-net best are stamped with it.
+	timEpoch []int
 	dcCache  [][]delayCrit
-	dpCache  []map[int]float64
+	// geoEpoch[n] advances when net n's alive-edge set changes; dpCache
+	// entries (pure geometry) are stamped with it, surviving the timing
+	// invalidations that clear dcCache.
+	geoEpoch []int32
+	dpCache  [][]dpEntry
+	// nbList[n] caches the net's alive non-bridge (candidate) edge list,
+	// valid while nbEpoch[n] == geoEpoch[n].
+	nbList  [][]int
+	nbEpoch []int32
+
+	// Incremental selection engine (see criteria.go).
+	best      []netBest // cached per-net ranked best candidate
+	netsOfCons [][]int  // reverse of dg.ConsOfNet: nets touching each constraint
+	netChans  [][]int   // distinct channels net n's edges read density from
+	sc        *scratch  // sequential scoring scratch
+	scratches []*scratch // per-worker scratches for parallel scoring
+	staleBuf  []int     // reusable buffers for selectEdge
+	unitBuf   []int
+	selStat   selStats
+
+	// trunkCnt[ch][n] counts net n's alive trunk edges in channel ch; the
+	// area phase uses it to visit only nets present in the max channel.
+	trunkCnt [][]int32
 
 	phases []PhaseStat
+}
+
+// selStats are cumulative selection counters; runPhase records per-phase
+// deltas into PhaseStat.
+type selStats struct {
+	calls  int
+	scored int
+	reused int
+	dur    time.Duration
 }
 
 // Route runs the full global routing algorithm on a validated circuit.
@@ -195,15 +241,21 @@ func (r *router) runPhase(name string, f func(*PhaseStat) error) error {
 	}
 	ps := PhaseStat{Name: name}
 	r.emit(Progress{Phase: name, Violations: r.liveViolations()})
+	selBefore := r.selStat
 	start := time.Now()
 	err := f(&ps)
 	ps.Duration = time.Since(start)
+	ps.SelectDuration = r.selStat.dur - selBefore.dur
+	ps.SelectCalls = r.selStat.calls - selBefore.calls
+	ps.ScoredNets = r.selStat.scored - selBefore.scored
+	ps.ReusedNets = r.selStat.reused - selBefore.reused
 	r.phases = append(r.phases, ps)
 	if r.cfg.Trace != nil {
-		fmt.Fprintf(r.cfg.Trace, "phase %-20s deletions=%-5d (corr=%d branch=%d trunk=%d feed=%d) reroutes=%-4d accepted=%-4d %v err=%v\n",
+		fmt.Fprintf(r.cfg.Trace, "phase %-20s deletions=%-5d (corr=%d branch=%d trunk=%d feed=%d) reroutes=%-4d accepted=%-4d select=%v/%d scored=%d reused=%d %v err=%v\n",
 			name, ps.Deletions, ps.ByKind[rgraph.ECorr], ps.ByKind[rgraph.EBranch],
 			ps.ByKind[rgraph.ETrunk], ps.ByKind[rgraph.EFeed],
-			ps.Reroutes, ps.Accepted, ps.Duration.Round(time.Millisecond), err)
+			ps.Reroutes, ps.Accepted, ps.SelectDuration.Round(time.Millisecond), ps.SelectCalls,
+			ps.ScoredNets, ps.ReusedNets, ps.Duration.Round(time.Millisecond), err)
 	}
 	if err == nil {
 		r.emit(Progress{Phase: name, Deletions: ps.Deletions, Reroutes: ps.Reroutes,
@@ -266,17 +318,71 @@ func slackOrder(dg *dgraph.Graph) []int {
 	return order
 }
 
-func (r *router) setup() error {
-	nNets := len(r.ckt.Nets)
+// initNetState allocates the per-net router state shared by Route's setup
+// and ReOptimize: caches, the selection engine, density and slot tracking.
+func (r *router) initNetState(nNets int) {
 	r.graphs = make([]*rgraph.Graph, nNets)
 	r.trees = make([]*rgraph.Tree, nNets)
 	r.wl = make([]float64, nNets)
 	r.pairOf = make([]int, nNets)
-	r.netEpoch = make([]int, nNets)
+	r.timEpoch = make([]int, nNets)
 	r.dcCache = make([][]delayCrit, nNets)
-	r.dpCache = make([]map[int]float64, nNets)
+	r.geoEpoch = make([]int32, nNets)
+	for n := range r.geoEpoch {
+		r.geoEpoch[n] = 1 // zero-valued dpCache entries must read as stale
+	}
+	r.dpCache = make([][]dpEntry, nNets)
+	r.nbList = make([][]int, nNets)
+	r.nbEpoch = make([]int32, nNets) // 0 != initial geoEpoch 1: starts stale
+	r.best = make([]netBest, nNets)
 	r.dens = densityFor(r.ckt)
-	r.slotOwner = make(map[[2]int]int)
+	r.slotCols = r.ckt.Cols
+	r.slotOwner = make([]int32, r.ckt.Rows*r.ckt.Cols)
+	for i := range r.slotOwner {
+		r.slotOwner[i] = -1
+	}
+	r.sc = r.newScratch()
+	r.trunkCnt = make([][]int32, r.dens.Channels())
+	for ch := range r.trunkCnt {
+		r.trunkCnt[ch] = make([]int32, nNets)
+	}
+}
+
+// buildIndexes derives the static selection-engine indexes once graphs and
+// the delay graph exist: the constraint→nets reverse map and each net's
+// channel set.
+func (r *router) buildIndexes() {
+	r.netsOfCons = make([][]int, len(r.ckt.Cons))
+	for n := range r.graphs {
+		for _, p := range r.dg.ConsOfNet(n) {
+			r.netsOfCons[p] = append(r.netsOfCons[p], n)
+		}
+	}
+	r.netChans = make([][]int, len(r.graphs))
+	for n := range r.graphs {
+		r.recomputeNetChans(n)
+	}
+}
+
+// recomputeNetChans rebuilds net n's channel set: every channel any of its
+// edges reads density criteria from. Rebuilds keep rows (hence channels)
+// fixed and only move columns, but the set is cheap enough to refresh.
+func (r *router) recomputeNetChans(n int) {
+	seen := make([]bool, r.dens.Channels())
+	chans := r.netChans[n][:0]
+	for i := range r.graphs[n].Edges {
+		ch := r.graphs[n].Edges[i].Ch
+		if ch >= 0 && ch < len(seen) && !seen[ch] {
+			seen[ch] = true
+			chans = append(chans, ch)
+		}
+	}
+	r.netChans[n] = chans
+}
+
+func (r *router) setup() error {
+	nNets := len(r.ckt.Nets)
+	r.initNetState(nNets)
 	for n := 0; n < nNets; n++ {
 		r.ownSlots(n, r.feeds[n], true)
 	}
@@ -304,6 +410,7 @@ func (r *router) setup() error {
 	for n, g := range r.graphs {
 		r.densAddGraph(n, g)
 	}
+	r.buildIndexes()
 	r.tm = r.dg.NewTiming()
 	if err := r.refreshTrees(allNets(nNets)); err != nil {
 		return err
@@ -339,7 +446,8 @@ func sameShape(a, b *rgraph.Graph) error {
 	return nil
 }
 
-// densAddGraph adds every alive edge of a net's graph to the density state.
+// densAddGraph adds every alive edge of a net's graph to the density state
+// and the per-channel trunk index.
 func (r *router) densAddGraph(n int, g *rgraph.Graph) {
 	w := g.Pitch
 	for _, e := range g.AliveEdges() {
@@ -348,6 +456,7 @@ func (r *router) densAddGraph(n int, g *rgraph.Graph) {
 			continue
 		}
 		r.dens.Add(ed.Ch, ed.X1, ed.X2, w)
+		r.trunkCnt[ed.Ch][n]++
 		if ed.Bridge {
 			r.dens.AddBridge(ed.Ch, ed.X1, ed.X2, w)
 		}
@@ -363,6 +472,7 @@ func (r *router) densRemoveGraph(n int, g *rgraph.Graph) {
 			continue
 		}
 		r.dens.Remove(ed.Ch, ed.X1, ed.X2, w)
+		r.trunkCnt[ed.Ch][n]--
 		if ed.Bridge {
 			r.dens.RemoveBridge(ed.Ch, ed.X1, ed.X2, w)
 		}
@@ -377,6 +487,7 @@ func (r *router) densRemoveEdges(n int, removed []int) {
 			continue
 		}
 		r.dens.Remove(ed.Ch, ed.X1, ed.X2, g.Pitch)
+		r.trunkCnt[ed.Ch][n]--
 		if ed.Bridge {
 			r.dens.RemoveBridge(ed.Ch, ed.X1, ed.X2, g.Pitch)
 		}
@@ -405,7 +516,7 @@ func (r *router) densFlipBridges(n int, flips []int) {
 func (r *router) refreshTrees(nets []int) error {
 	touched := map[int]bool{}
 	for _, n := range nets {
-		t, err := r.graphs[n].Tentative()
+		t, err := r.graphs[n].TentativeInto(r.trees[n])
 		if err != nil {
 			return fmt.Errorf("core: net %s: %w", r.ckt.Nets[n].Name, err)
 		}
@@ -418,15 +529,43 @@ func (r *router) refreshTrees(nets []int) error {
 	}
 	if len(nets) == len(r.graphs) || len(touched) == len(r.tm.Cons) {
 		r.tm.Analyze()
+		for p := range r.netsOfCons {
+			r.touchCons(p)
+		}
 	} else {
 		ps := make([]int, 0, len(touched))
 		for p := range touched {
 			ps = append(ps, p)
 		}
 		r.tm.AnalyzeCons(ps)
+		for _, p := range ps {
+			r.touchCons(p)
+		}
 	}
-	r.staEpoch++
+	// The rebuilt nets' own wl/tree changed even if they touch no
+	// constraint (dCur and the d' in-tree shortcut read them).
+	for _, n := range nets {
+		r.touchNet(n)
+	}
 	return nil
+}
+
+// touchNet advances the timing epoch of a net and its differential mate,
+// invalidating their cached delay criteria and ranked bests. The mate is
+// included because delayCriteria(n, e) reads both halves of a pair.
+func (r *router) touchNet(n int) {
+	r.timEpoch[n]++
+	if m := r.pairOf[n]; m != circuit.NoNet {
+		r.timEpoch[m]++
+	}
+}
+
+// touchCons invalidates every net whose criteria read constraint p's
+// margin — the nets with arcs in Gd(P) and their mates.
+func (r *router) touchCons(p int) {
+	for _, n := range r.netsOfCons[p] {
+		r.touchNet(n)
+	}
 }
 
 // applyNetDelay pushes net n's delay into the timing model according to
@@ -464,8 +603,8 @@ func (r *router) deleteEdge(n, e int) error {
 		r.densRemoveEdges(nn, removed)
 		flips := g.RecomputeBridges()
 		r.densFlipBridges(nn, flips)
-		r.netEpoch[nn]++
-		r.dpCache[nn] = nil
+		r.touchNet(nn)
+		r.geoEpoch[nn]++
 		for _, re := range removed {
 			if r.trees[nn].InTree[re] {
 				dirty = append(dirty, nn)
@@ -633,7 +772,10 @@ func (r *router) improveArea(ps *PhaseStat) error {
 }
 
 // congestedNets returns the nets with trunk edges over the maximum-density
-// columns of the most congested channel, most congested first.
+// columns of the most congested channel, most congested first. Only nets
+// the trunkCnt index places in the channel are examined; a net covering a
+// max column necessarily has an alive trunk there, so the result is the
+// same as a full scan (stable sort over ascending net index).
 func (r *router) congestedNets() []int {
 	ch, cm := r.dens.MaxCM()
 	if ch < 0 || cm == 0 {
@@ -645,7 +787,11 @@ func (r *router) congestedNets() []int {
 		cover int
 	}
 	var list []scored
-	for n, g := range r.graphs {
+	for n, cnt := range r.trunkCnt[ch] {
+		if cnt <= 0 {
+			continue
+		}
+		g := r.graphs[n]
 		cover := 0
 		for _, e := range g.AliveEdges() {
 			ed := &g.Edges[e]

@@ -37,21 +37,23 @@ type EdgeStats struct {
 
 // State tracks densities for every channel of a chip.
 type State struct {
-	cols  int
-	dM    [][]int
-	dm    [][]int
-	dirty []bool
-	stats []ChannelStats
+	cols    int
+	dM      [][]int
+	dm      [][]int
+	dirty   []bool
+	stats   []ChannelStats
+	version []uint64
 }
 
 // New creates a density state for the given channel count and column count.
 func New(channels, cols int) *State {
 	s := &State{
-		cols:  cols,
-		dM:    make([][]int, channels),
-		dm:    make([][]int, channels),
-		dirty: make([]bool, channels),
-		stats: make([]ChannelStats, channels),
+		cols:    cols,
+		dM:      make([][]int, channels),
+		dm:      make([][]int, channels),
+		dirty:   make([]bool, channels),
+		stats:   make([]ChannelStats, channels),
+		version: make([]uint64, channels),
 	}
 	for c := range s.dM {
 		s.dM[c] = make([]int, cols)
@@ -83,7 +85,7 @@ func (s *State) Add(ch, x1, x2, w int) {
 	for x := x1; x < x2; x++ {
 		s.dM[ch][x] += w
 	}
-	s.dirty[ch] = true
+	s.touch(ch)
 }
 
 // Remove removes a previously added trunk edge.
@@ -95,7 +97,7 @@ func (s *State) Remove(ch, x1, x2, w int) {
 			panic("density: d_M went negative")
 		}
 	}
-	s.dirty[ch] = true
+	s.touch(ch)
 }
 
 // AddBridge marks a trunk edge as a bridge (it also remains counted in
@@ -105,7 +107,7 @@ func (s *State) AddBridge(ch, x1, x2, w int) {
 	for x := x1; x < x2; x++ {
 		s.dm[ch][x] += w
 	}
-	s.dirty[ch] = true
+	s.touch(ch)
 }
 
 // RemoveBridge undoes AddBridge.
@@ -117,7 +119,32 @@ func (s *State) RemoveBridge(ch, x1, x2, w int) {
 			panic("density: d_m went negative")
 		}
 	}
+	s.touch(ch)
+}
+
+// touch records a profile mutation: the channel's stats are stale and its
+// version moves, which is what the router's per-net candidate caches key
+// their density snapshots on.
+func (s *State) touch(ch int) {
 	s.dirty[ch] = true
+	s.version[ch]++
+}
+
+// Version returns a counter that increments on every profile mutation of
+// the channel (d_M or d_m). Equal versions imply identical profiles, so
+// cached per-channel criteria stamped with it stay exact.
+func (s *State) Version(ch int) uint64 { return s.version[ch] }
+
+// Flush materializes every dirty channel's stats. After Flush, concurrent
+// readers may call Channel and Edge freely: nothing mutates until the next
+// Add/Remove. The router calls it before fanning scoring out to workers.
+func (s *State) Flush() {
+	for c := range s.dM {
+		if s.dirty[c] {
+			s.stats[c] = computeStats(s.dM[c], s.dm[c])
+			s.dirty[c] = false
+		}
+	}
 }
 
 // Channel returns the current §3.3 parameters of a channel.

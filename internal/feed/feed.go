@@ -197,7 +197,8 @@ type pass struct {
 	geo          *grid.Geometry
 	respectFlags bool
 
-	occupied  map[[2]int]bool // (row, col) slot taken
+	occupied  []bool // (row*cols + col) slot taken; row-major flat grid
+	cols      int
 	feeds     [][]rgraph.FeedPos
 	shortfall map[shortKey]int
 	reserved  []reservation
@@ -207,7 +208,8 @@ type pass struct {
 func newPass(ckt *circuit.Circuit, geo *grid.Geometry, respectFlags bool) *pass {
 	return &pass{
 		ckt: ckt, geo: geo, respectFlags: respectFlags,
-		occupied:  map[[2]int]bool{},
+		occupied:  make([]bool, ckt.Rows*ckt.Cols),
+		cols:      ckt.Cols,
 		feeds:     make([][]rgraph.FeedPos, len(ckt.Nets)),
 		shortfall: map[shortKey]int{},
 		done:      make([]bool, len(ckt.Nets)),
@@ -257,7 +259,7 @@ func channelSpan(ckt *circuit.Circuit, net int) (minCh, maxCh int, center int) {
 // a row whose center is nearest to target. It returns the leftmost column,
 // or -1 when none exists.
 func (p *pass) findGroup(row, width, target, flagWidth int) int {
-	occ := func(row, col int) bool { return p.occupied[[2]int{row, col}] }
+	occ := func(row, col int) bool { return p.occupied[row*p.cols+col] }
 	return FindGroup(p.geo, occ, row, width, target, flagWidth, p.respectFlags)
 }
 
@@ -316,7 +318,7 @@ func flagCompatible(flag, width int) bool {
 
 func (p *pass) take(row, col, width, flagWidth int, net int) {
 	for j := 0; j < width; j++ {
-		p.occupied[[2]int{row, col + j}] = true
+		p.occupied[row*p.cols+col+j] = true
 	}
 	if flagWidth >= 2 && !p.respectFlags {
 		// Remember the slots for width-flagging if insertion is needed.

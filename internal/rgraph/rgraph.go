@@ -108,6 +108,11 @@ type Graph struct {
 	TermVert []int
 
 	alive int // count of alive edges
+
+	// ws is the reusable shortest-path workspace. It makes Tentative and
+	// LengthExcluding allocation-light but also makes a Graph unsafe for
+	// concurrent use; callers must shard work per graph.
+	ws dijkstraWS
 }
 
 // Build constructs Gr(n) for a net given its assigned feedthroughs. The
@@ -120,19 +125,16 @@ func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (
 	}
 	g := &Graph{Net: net, Pitch: ckt.Nets[net].Pitch}
 
-	// Collect spine columns per channel: every terminal position column
-	// and both endpoints of every feedthrough.
-	spineCols := map[int]map[int]bool{} // channel -> set of columns
-	addSpine := func(ch, col int) {
-		if spineCols[ch] == nil {
-			spineCols[ch] = map[int]bool{}
-		}
-		spineCols[ch][col] = true
-	}
+	// Collect spine points per channel — every terminal position column and
+	// both endpoints of every feedthrough — as a sorted, deduplicated
+	// (channel, column) list. Spine vertices are created in that order, so
+	// later lookups are binary searches instead of map probes (Build runs
+	// once per net at setup and again on every reroute rebuild).
+	spines := make([]spinePt, 0, 4*len(feeds)+8)
 	minCh, maxCh := math.MaxInt32, -1
 	for _, t := range terms {
 		for _, pos := range ckt.PositionsOf(t) {
-			addSpine(pos.Channel, pos.Col)
+			spines = append(spines, spinePt{pos.Channel, pos.Col})
 			if pos.Channel < minCh {
 				minCh = pos.Channel
 			}
@@ -141,13 +143,12 @@ func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (
 			}
 		}
 	}
-	covered := map[int]bool{}
+	covered := make([]bool, ckt.Rows)
 	for _, f := range feeds {
 		if f.Row < 0 || f.Row >= ckt.Rows {
 			return nil, fmt.Errorf("rgraph: net %q feedthrough row %d out of range", ckt.Nets[net].Name, f.Row)
 		}
-		addSpine(f.Row, f.Col)
-		addSpine(f.Row+1, f.Col)
+		spines = append(spines, spinePt{f.Row, f.Col}, spinePt{f.Row + 1, f.Col})
 		covered[f.Row] = true
 	}
 	for r := minCh; r < maxCh; r++ {
@@ -155,36 +156,39 @@ func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (
 			return nil, fmt.Errorf("rgraph: net %q crosses row %d but has no feedthrough there", ckt.Nets[net].Name, r)
 		}
 	}
+	sort.Slice(spines, func(i, j int) bool {
+		if spines[i].ch != spines[j].ch {
+			return spines[i].ch < spines[j].ch
+		}
+		return spines[i].col < spines[j].col
+	})
+	spines = dedupSpines(spines)
+	// spineVert answers (channel, col) → vertex; spine vertex ids are
+	// allocated first and in spines order.
+	spineVert := func(ch, col int) int {
+		return sort.Search(len(spines), func(i int) bool {
+			if spines[i].ch != ch {
+				return spines[i].ch > ch
+			}
+			return spines[i].col >= col
+		})
+	}
 
 	// Spine vertices and trunk edges.
-	spineVert := map[[2]int]int{} // (channel, col) -> vertex
-	channels := make([]int, 0, len(spineCols))
-	for ch := range spineCols {
-		channels = append(channels, ch)
-	}
-	sort.Ints(channels)
-	for _, ch := range channels {
-		cols := make([]int, 0, len(spineCols[ch]))
-		for col := range spineCols[ch] {
-			cols = append(cols, col)
-		}
-		sort.Ints(cols)
-		for i, col := range cols {
-			v := g.addVertex(Vertex{Kind: VSpine, Term: -1, Ch: ch, Col: col})
-			spineVert[[2]int{ch, col}] = v
-			if i > 0 {
-				prev := cols[i-1]
-				g.addEdge(Edge{
-					U: spineVert[[2]int{ch, prev}], V: v, Kind: ETrunk, Ch: ch,
-					X1: prev, X2: col, Len: geo.SpanUm(prev, col),
-				})
-			}
+	for i, sp := range spines {
+		v := g.addVertex(Vertex{Kind: VSpine, Term: -1, Ch: sp.ch, Col: sp.col})
+		if i > 0 && spines[i-1].ch == sp.ch {
+			prev := spines[i-1].col
+			g.addEdge(Edge{
+				U: v - 1, V: v, Kind: ETrunk, Ch: sp.ch,
+				X1: prev, X2: sp.col, Len: geo.SpanUm(prev, sp.col),
+			})
 		}
 	}
 	// Feedthrough edges.
 	for _, f := range feeds {
-		u := spineVert[[2]int{f.Row, f.Col}]
-		v := spineVert[[2]int{f.Row + 1, f.Col}]
+		u := spineVert(f.Row, f.Col)
+		v := spineVert(f.Row+1, f.Col)
 		g.addEdge(Edge{
 			U: u, V: v, Kind: EFeed, Ch: f.Row,
 			X1: f.Col, X2: f.Col, Len: ckt.Tech.RowHeight,
@@ -198,7 +202,7 @@ func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (
 		for _, pos := range positions {
 			pv := g.addVertex(Vertex{Kind: VPos, Term: ti, Ch: pos.Channel, Col: pos.Col})
 			g.addEdge(Edge{U: tv, V: pv, Kind: ECorr, Ch: pos.Channel, X1: pos.Col, X2: pos.Col, Len: 0})
-			sv := spineVert[[2]int{pos.Channel, pos.Col}]
+			sv := spineVert(pos.Channel, pos.Col)
 			g.addEdge(Edge{U: pv, V: sv, Kind: EBranch, Ch: pos.Channel, X1: pos.Col, X2: pos.Col, Len: ckt.Tech.BranchLen})
 		}
 	}
@@ -208,6 +212,22 @@ func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (
 	g.RecomputeBridges()
 	g.Prune(nil)
 	return g, nil
+}
+
+// spinePt is a (channel, column) spine location used during Build.
+type spinePt struct {
+	ch, col int
+}
+
+// dedupSpines removes adjacent duplicates from a sorted spine list.
+func dedupSpines(s []spinePt) []spinePt {
+	out := s[:0]
+	for i, p := range s {
+		if i == 0 || p != s[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func (g *Graph) addVertex(v Vertex) int {
@@ -230,7 +250,8 @@ func (g *Graph) addEdge(e Edge) int {
 }
 
 // Clone deep-copies the graph (used by ECO re-optimization so the new
-// routing can diverge without touching the old result).
+// routing can diverge without touching the old result). The clone starts
+// with a fresh shortest-path workspace: sharing one would race.
 func (g *Graph) Clone() *Graph {
 	ng := &Graph{Net: g.Net, Pitch: g.Pitch, alive: g.alive}
 	ng.Verts = append([]Vertex(nil), g.Verts...)
@@ -257,13 +278,18 @@ func (g *Graph) AliveEdges() []int {
 // NonBridges returns the ids of alive non-bridge edges: the deletion
 // candidates N_b of the paper's initial routing loop.
 func (g *Graph) NonBridges() []int {
-	var out []int
+	return g.AppendNonBridges(nil)
+}
+
+// AppendNonBridges appends the alive non-bridge edge ids to dst and
+// returns it, letting hot callers reuse a scratch buffer.
+func (g *Graph) AppendNonBridges(dst []int) []int {
 	for i := range g.Edges {
 		if g.Edges[i].Alive && !g.Edges[i].Bridge {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // AliveCount returns the number of alive edges.
@@ -334,19 +360,25 @@ func (g *Graph) connectedFromAlive() bool {
 // so the caller can update the d_m density profile incrementally.
 func (g *Graph) RecomputeBridges() (flipped []int) {
 	n := len(g.Verts)
-	disc := make([]int, n)
-	low := make([]int, n)
+	w := &g.ws
+	if len(w.disc) < n {
+		w.disc = make([]int, n)
+		w.low = make([]int, n)
+	}
+	if len(w.newBridge) < len(g.Edges) {
+		w.newBridge = make([]bool, len(g.Edges))
+	}
+	disc, low := w.disc[:n], w.low[:n]
+	newBridge := w.newBridge[:len(g.Edges)]
 	for i := range disc {
 		disc[i] = -1
 	}
-	newBridge := make([]bool, len(g.Edges))
+	for i := range newBridge {
+		newBridge[i] = false
+	}
 	timer := 0
 
-	type frame struct {
-		v, parentEdge int
-		idx           int
-	}
-	var stack []frame
+	stack := w.frames[:0]
 	for s := 0; s < n; s++ {
 		if disc[s] != -1 {
 			continue
@@ -354,7 +386,7 @@ func (g *Graph) RecomputeBridges() (flipped []int) {
 		disc[s] = timer
 		low[s] = timer
 		timer++
-		stack = append(stack[:0], frame{v: s, parentEdge: -1})
+		stack = append(stack[:0], bridgeFrame{v: s, parentEdge: -1})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			if f.idx < len(g.adj[f.v]) {
@@ -368,7 +400,7 @@ func (g *Graph) RecomputeBridges() (flipped []int) {
 					disc[w] = timer
 					low[w] = timer
 					timer++
-					stack = append(stack, frame{v: w, parentEdge: e})
+					stack = append(stack, bridgeFrame{v: w, parentEdge: e})
 				} else if disc[w] < low[f.v] {
 					low[f.v] = disc[w]
 				}
@@ -388,6 +420,7 @@ func (g *Graph) RecomputeBridges() (flipped []int) {
 			}
 		}
 	}
+	w.frames = stack[:0]
 	for i := range g.Edges {
 		if !g.Edges[i].Alive {
 			continue

@@ -35,10 +35,104 @@ func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() any          { old := *q; x := old[len(old)-1]; *q = old[:len(old)-1]; return x }
 
+// dijkstraWS is a per-graph scratch space reused across shortest-path
+// runs, so the router's hot d'(e) loop does not allocate. Vertex state is
+// invalidated in O(1) by bumping a generation counter; entries are live
+// only when their stamp matches the current generation. A Graph's methods
+// share this workspace, so a Graph must not be used from two goroutines
+// concurrently (the router shards work by net, which guarantees that).
+type dijkstraWS struct {
+	dist  []float64
+	prev  []int // edge id arriving at v on the shortest path, -1 for source
+	stamp []uint32
+	gen   uint32
+	q     pq
+
+	edgeStamp []uint32 // tree-union membership stamps for lengthExcluding
+	edgeGen   uint32
+
+	// RecomputeBridges scratch (same single-goroutine-per-graph contract).
+	disc, low []int
+	newBridge []bool
+	frames    []bridgeFrame
+}
+
+// bridgeFrame is one explicit-stack DFS frame of RecomputeBridges.
+type bridgeFrame struct {
+	v, parentEdge int
+	idx           int
+}
+
+// reset sizes the workspace to the graph and starts a fresh generation.
+func (w *dijkstraWS) reset(nVerts int) {
+	if len(w.dist) < nVerts {
+		w.dist = make([]float64, nVerts)
+		w.prev = make([]int, nVerts)
+		w.stamp = make([]uint32, nVerts)
+		w.gen = 0
+	}
+	w.gen++
+	if w.gen == 0 { // stamp wrap: re-zero so stale stamps cannot match
+		for i := range w.stamp {
+			w.stamp[i] = 0
+		}
+		w.gen = 1
+	}
+	w.q = w.q[:0]
+}
+
+// distAt reads v's tentative distance, +Inf when untouched this run.
+func (w *dijkstraWS) distAt(v int) float64 {
+	if w.stamp[v] == w.gen {
+		return w.dist[v]
+	}
+	return math.Inf(1)
+}
+
+func (w *dijkstraWS) set(v int, d float64, prevEdge int) {
+	w.dist[v] = d
+	w.prev[v] = prevEdge
+	w.stamp[v] = w.gen
+}
+
+// prevAt reads v's arrival edge, -1 when v was never reached.
+func (w *dijkstraWS) prevAt(v int) int {
+	if w.stamp[v] == w.gen {
+		return w.prev[v]
+	}
+	return -1
+}
+
+// markEdges starts a fresh edge-union generation sized to the graph.
+func (w *dijkstraWS) markEdges(nEdges int) {
+	if len(w.edgeStamp) < nEdges {
+		w.edgeStamp = make([]uint32, nEdges)
+		w.edgeGen = 0
+	}
+	w.edgeGen++
+	if w.edgeGen == 0 {
+		for i := range w.edgeStamp {
+			w.edgeStamp[i] = 0
+		}
+		w.edgeGen = 1
+	}
+}
+
+func (w *dijkstraWS) edgeMarked(e int) bool { return w.edgeStamp[e] == w.edgeGen }
+func (w *dijkstraWS) markEdge(e int)        { w.edgeStamp[e] = w.edgeGen }
+
 // Tentative computes the tentative tree with Dijkstra's shortest-path
 // algorithm from the driving terminal (paper §3.2).
 func (g *Graph) Tentative() (*Tree, error) {
 	return g.tentative(-1)
+}
+
+// TentativeInto is Tentative reusing a previous tree's storage (prev may
+// be nil). The returned tree aliases prev's slices when they fit, so prev
+// must not be read afterwards — the router's per-deletion tree refresh
+// would otherwise allocate three slices per deletion.
+func (g *Graph) TentativeInto(prev *Tree) (*Tree, error) {
+	return g.tentativeCostInto(-1, nil, prev)
 }
 
 // TentativeWeighted computes a tentative tree under a custom edge cost
@@ -61,33 +155,47 @@ func (g *Graph) KeepOnly(t *Tree) {
 
 // LengthExcluding returns the tentative-tree length that would result from
 // deleting edge skip: the d'-generating estimate behind LM(e,P). It fails
-// if the exclusion disconnects some terminal (skip was a bridge).
+// if the exclusion disconnects some terminal (skip was a bridge). Unlike
+// Tentative it allocates nothing: the whole computation runs inside the
+// graph's reusable workspace.
 func (g *Graph) LengthExcluding(skip int) (float64, error) {
-	t, err := g.tentative(skip)
-	if err != nil {
-		return 0, err
+	g.runDijkstra(skip, nil)
+	w := &g.ws
+	w.markEdges(len(g.Edges))
+	var length float64
+	for ti, tv := range g.TermVert {
+		if math.IsInf(w.distAt(tv), 1) {
+			return 0, fmt.Errorf("rgraph: terminal %d unreachable from driver", ti)
+		}
+		for v := tv; w.prevAt(v) != -1; {
+			e := w.prevAt(v)
+			if w.edgeMarked(e) {
+				break // the rest of the path is already in the union
+			}
+			w.markEdge(e)
+			length += g.Edges[e].Len
+			v = g.other(e, v)
+		}
 	}
-	return t.Length, nil
+	return length, nil
 }
 
 func (g *Graph) tentative(skip int) (*Tree, error) {
 	return g.tentativeCost(skip, nil)
 }
 
-func (g *Graph) tentativeCost(skip int, cost func(e int) float64) (*Tree, error) {
-	n := len(g.Verts)
-	dist := make([]float64, n)
-	prevEdge := make([]int, n)
-	for v := range dist {
-		dist[v] = math.Inf(1)
-		prevEdge[v] = -1
-	}
+// runDijkstra fills the workspace with shortest paths from the driving
+// terminal over the alive edges (minus skip), under the given edge cost
+// (nil means physical length).
+func (g *Graph) runDijkstra(skip int, cost func(e int) float64) {
+	w := &g.ws
+	w.reset(len(g.Verts))
 	src := g.TermVert[0]
-	dist[src] = 0
-	q := pq{{v: src, dist: 0}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if it.dist > dist[it.v] {
+	w.set(src, 0, -1)
+	w.q = append(w.q, pqItem{v: src, dist: 0})
+	for len(w.q) > 0 {
+		it := heap.Pop(&w.q).(pqItem)
+		if it.dist > w.distAt(it.v) {
 			continue
 		}
 		for _, e := range g.adj[it.v] {
@@ -98,22 +206,48 @@ func (g *Graph) tentativeCost(skip int, cost func(e int) float64) (*Tree, error)
 			if cost != nil {
 				c = cost(e)
 			}
-			w := g.other(e, it.v)
-			if d := it.dist + c; d < dist[w] {
-				dist[w] = d
-				prevEdge[w] = e
-				heap.Push(&q, pqItem{v: w, dist: d})
+			v := g.other(e, it.v)
+			if d := it.dist + c; d < w.distAt(v) {
+				w.set(v, d, e)
+				heap.Push(&w.q, pqItem{v: v, dist: d})
 			}
 		}
 	}
-	t := &Tree{InTree: make([]bool, len(g.Edges)), SinkDist: make([]float64, len(g.TermVert))}
+}
+
+func (g *Graph) tentativeCost(skip int, cost func(e int) float64) (*Tree, error) {
+	return g.tentativeCostInto(skip, cost, nil)
+}
+
+func (g *Graph) tentativeCostInto(skip int, cost func(e int) float64, prev *Tree) (*Tree, error) {
+	g.runDijkstra(skip, cost)
+	w := &g.ws
+	t := prev
+	if t == nil {
+		t = &Tree{}
+	}
+	if cap(t.InTree) >= len(g.Edges) {
+		t.InTree = t.InTree[:len(g.Edges)]
+		for i := range t.InTree {
+			t.InTree[i] = false
+		}
+	} else {
+		t.InTree = make([]bool, len(g.Edges))
+	}
+	if cap(t.SinkDist) >= len(g.TermVert) {
+		t.SinkDist = t.SinkDist[:len(g.TermVert)]
+	} else {
+		t.SinkDist = make([]float64, len(g.TermVert))
+	}
+	t.Edges = t.Edges[:0]
+	t.Length = 0
 	for ti, tv := range g.TermVert {
-		if math.IsInf(dist[tv], 1) {
+		if math.IsInf(w.distAt(tv), 1) {
 			return nil, fmt.Errorf("rgraph: terminal %d unreachable from driver", ti)
 		}
-		t.SinkDist[ti] = dist[tv]
-		for v := tv; prevEdge[v] != -1; {
-			e := prevEdge[v]
+		t.SinkDist[ti] = w.distAt(tv)
+		for v := tv; w.prevAt(v) != -1; {
+			e := w.prevAt(v)
 			if t.InTree[e] {
 				break // the rest of the path is already in the union
 			}

@@ -66,13 +66,20 @@ type metrics struct {
 	cacheHits atomic.Int64
 	cacheMiss atomic.Int64
 
-	mu     sync.Mutex
-	phases map[string]*histogram // per-phase routing latency
-	jobs   histogram             // end-to-end job latency
+	netsScored atomic.Int64 // per-net candidate scores recomputed
+	netsReused atomic.Int64 // per-net scores served from the selection cache
+
+	mu      sync.Mutex
+	phases  map[string]*histogram // per-phase routing latency
+	selects map[string]*histogram // per-phase time inside selectEdge
+	jobs    histogram             // end-to-end job latency
 }
 
 func newMetrics() *metrics {
-	return &metrics{phases: make(map[string]*histogram)}
+	return &metrics{
+		phases:  make(map[string]*histogram),
+		selects: make(map[string]*histogram),
+	}
 }
 
 func (m *metrics) observeJob(total time.Duration, phases []PhaseInfo) {
@@ -86,6 +93,16 @@ func (m *metrics) observeJob(total time.Duration, phases []PhaseInfo) {
 			m.phases[p.Name] = h
 		}
 		h.observe(time.Duration(p.DurationMs * float64(time.Millisecond)))
+		if p.SelectCalls > 0 {
+			sh := m.selects[p.Name]
+			if sh == nil {
+				sh = &histogram{}
+				m.selects[p.Name] = sh
+			}
+			sh.observe(time.Duration(p.SelectMs * float64(time.Millisecond)))
+			m.netsScored.Add(int64(p.ScoredNets))
+			m.netsReused.Add(int64(p.ReusedNets))
+		}
 	}
 }
 
@@ -101,8 +118,11 @@ type MetricsSnapshot struct {
 	CacheEntries  int                      `json:"cache_entries"`
 	QueueDepth    int                      `json:"queue_depth"`
 	Workers       int                      `json:"workers"`
+	NetsScored    int64                    `json:"nets_scored"`
+	NetsReused    int64                    `json:"nets_reused"`
 	JobLatency    histogramJSON            `json:"job_latency_ms"`
 	PhaseLatency  map[string]histogramJSON `json:"phase_latency_ms"`
+	SelectLatency map[string]histogramJSON `json:"select_latency_ms"`
 }
 
 func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) MetricsSnapshot {
@@ -119,11 +139,17 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) MetricsSnapsho
 		CacheEntries:  cacheEntries,
 		QueueDepth:    queueDepth,
 		Workers:       workers,
+		NetsScored:    m.netsScored.Load(),
+		NetsReused:    m.netsReused.Load(),
 		JobLatency:    m.jobs.export(),
 		PhaseLatency:  make(map[string]histogramJSON, len(m.phases)),
+		SelectLatency: make(map[string]histogramJSON, len(m.selects)),
 	}
 	for name, h := range m.phases {
 		out.PhaseLatency[name] = h.export()
+	}
+	for name, h := range m.selects {
+		out.SelectLatency[name] = h.export()
 	}
 	return out
 }

@@ -54,6 +54,10 @@ type Options struct {
 	// JobTimeout is the default per-job routing deadline (default 5m).
 	// A submission may shorten it but never extend it.
 	JobTimeout time.Duration
+	// ScoreWorkers is the default per-job candidate-scoring parallelism
+	// applied when a submission leaves config.workers at 0. It never
+	// changes routed results, so it is not part of the cache key.
+	ScoreWorkers int
 
 	// beforeRun, when set (tests only), is called by a worker after it
 	// claims a job and before routing starts.
@@ -88,6 +92,10 @@ type JobConfig struct {
 	Order           string  `json:"order,omitempty"` // "", "slack", "index", "hpwl", "fanout"
 	NoFeedReroute   bool    `json:"no_feed_reroute,omitempty"`
 	GreedyChannels  bool    `json:"greedy_channels,omitempty"`
+	// Workers is the candidate-scoring worker count inside one routing run
+	// (0 = one per CPU, 1 = sequential). The routed result is byte-identical
+	// for every value, so it is safe in the cache key.
+	Workers int `json:"workers,omitempty"`
 }
 
 // DefaultJobConfig is used when a submission omits "config".
@@ -102,6 +110,7 @@ func (jc JobConfig) toCore() (core.Config, error) {
 		SkipImprovement: jc.SkipImprovement,
 		MaxPasses:       jc.MaxPasses,
 		NoFeedReroute:   jc.NoFeedReroute,
+		Workers:         jc.Workers,
 	}
 	switch jc.DelayModel {
 	case "", "lumped":
@@ -213,6 +222,9 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
 	cfg, err := jc.toCore()
 	if err != nil {
 		return SubmitResult{}, err
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = s.opts.ScoreWorkers
 	}
 	timeout := s.opts.JobTimeout
 	if t := time.Duration(req.TimeoutMs) * time.Millisecond; t > 0 && t < timeout {
