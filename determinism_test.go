@@ -41,6 +41,61 @@ func routedbJSON(t *testing.T, ckt *circuit.Circuit, cfg core.Config) []byte {
 	return out
 }
 
+// fingerprint renders a finished result's complete routing database, the
+// strictest byte-level fingerprint of a routing state.
+func fingerprint(t *testing.T, res *core.Result) []byte {
+	t.Helper()
+	cr, err := chanroute.Route(res.Ckt, res.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := routedb.Build(res, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := routedb.Marshal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReOptimizeDeterministic exercises the ECO path: route once, then
+// re-optimize the same result with every worker-pool size and require
+// byte-identical routedb JSON. This covers the rip-up-and-reroute
+// save/restore sweeps (tryReroute, reallocFeeds), which run far more often
+// under ReOptimize than during a fresh route.
+func TestReOptimizeDeterministic(t *testing.T) {
+	p, err := gen.Dataset(gen.DatasetNames()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := gen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Route(ckt, core.Config{UseConstraints: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		res, err := core.ReOptimize(base, core.Config{UseConstraints: true, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fingerprint(t, res)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ReOptimize with workers=%d differs from workers=1 (%d vs %d bytes)",
+				w, len(got), len(want))
+		}
+	}
+}
+
 // TestParallelScoringDeterministic routes every data set in both modes
 // with the sequential scorer (Workers=1) and with parallel worker pools,
 // and requires byte-identical routedb JSON.

@@ -130,24 +130,29 @@ func extractNet(ckt *circuit.Circuit, g *rgraph.Graph, n int, chans []Channel) e
 			pins = append(pins, colPin{ch: ed.Ch + 1, pin: Pin{Col: ed.X1, FromTop: false}})
 		}
 	}
-	// Trunk intervals per channel, merged into connected components.
+	// Trunk intervals per channel, merged into connected components. All
+	// per-channel state is indexed by channel number so every sweep below
+	// runs in ascending-channel order.
 	type iv struct{ lo, hi int }
-	trunks := map[int][]iv{}
+	trunks := make([][]iv, len(chans))
 	for _, e := range g.AliveEdges() {
 		ed := &g.Edges[e]
 		if ed.Kind == rgraph.ETrunk {
 			trunks[ed.Ch] = append(trunks[ed.Ch], iv{ed.X1, ed.X2})
 		}
 	}
-	perChannelPins := map[int][]Pin{}
+	perChannelPins := make([][]Pin, len(chans))
 	for _, cp := range pins {
 		perChannelPins[cp.ch] = append(perChannelPins[cp.ch], cp.pin)
 	}
-	usedPin := map[int][]bool{}
+	usedPin := make([][]bool, len(chans))
 	for ch, ps := range perChannelPins {
 		usedPin[ch] = make([]bool, len(ps))
 	}
 	for ch, list := range trunks {
+		if len(list) == 0 {
+			continue
+		}
 		sort.Slice(list, func(i, j int) bool { return list[i].lo < list[j].lo })
 		merged := []iv{}
 		for _, x := range list {
@@ -174,14 +179,14 @@ func extractNet(ckt *circuit.Circuit, g *rgraph.Graph, n int, chans []Channel) e
 	// horizontal extent), grouped per channel+column.
 	for ch, ps := range perChannelPins {
 		byCol := map[int][]Pin{}
+		var cols []int // byCol's keys, recorded on first appearance
 		for pi, p := range ps {
 			if !usedPin[ch][pi] {
+				if len(byCol[p.Col]) == 0 {
+					cols = append(cols, p.Col)
+				}
 				byCol[p.Col] = append(byCol[p.Col], p)
 			}
-		}
-		cols := make([]int, 0, len(byCol))
-		for col := range byCol {
-			cols = append(cols, col)
 		}
 		sort.Ints(cols)
 		for _, col := range cols {

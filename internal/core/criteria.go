@@ -138,10 +138,10 @@ func keyDensCompare(ka, kb *candKey) int {
 // (b) none of the channels the net's edges read density criteria from has
 // changed.
 type netBest struct {
-	edge      int  // best candidate edge id, -1 when the net has none
+	edge      int // best candidate edge id, -1 when the net has none
 	key       candKey
-	areaOrder bool // criteria ordering the ranking was computed under
-	tim       int  // timEpoch snapshot
+	areaOrder bool     // criteria ordering the ranking was computed under
+	tim       int      // timEpoch snapshot
 	chanV     []uint64 // density version snapshots, indexed like netChans[n]
 	valid     bool
 }
@@ -310,7 +310,7 @@ func (r *router) arcsInGd(p, n int) int {
 // is deterministic and independent of the worker count. ok is false when
 // no non-bridge edge remains.
 func (r *router) selectEdge(restrict []int, areaOrder bool) (candidate, bool) {
-	start := time.Now()
+	start := time.Now() //bgr:allow clockuse -- profiling only: feeds selStats latency counters, never steers selection
 	// Materialize every channel's stats: parallel scorers then only read
 	// the density state.
 	r.dens.Flush()
@@ -382,7 +382,7 @@ func (r *router) selectEdge(restrict []int, areaOrder bool) (candidate, bool) {
 	r.selStat.calls++
 	r.selStat.scored += len(stale)
 	r.selStat.reused += scanned - len(stale)
-	r.selStat.dur += time.Since(start)
+	r.selStat.dur += time.Since(start) //bgr:allow clockuse -- profiling only: feeds selStats latency counters, never steers selection
 	return best, best.net != -1
 }
 
@@ -451,7 +451,7 @@ func (r *router) scoreNet(n int, areaOrder bool, sc *scratch) {
 	}
 	if r.nbEpoch[n] != r.geoEpoch[n] {
 		r.nbList[n] = r.graphs[n].AppendNonBridges(r.nbList[n][:0])
-		r.nbEpoch[n] = r.geoEpoch[n]
+		r.nbEpoch[n] = r.geoEpoch[n] //bgr:allow epochs -- stamps the just-rebuilt candidate list as fresh; not an invalidation
 	}
 	nb := r.nbList[n]
 	for _, e := range nb {

@@ -254,11 +254,13 @@ func TestAcceptRules(t *testing.T) {
 func TestReallocFeedsProposesOnlyFreeSlots(t *testing.T) {
 	r := newTestRouter(t, circuit.SampleSmall(), Config{UseConstraints: true})
 	for n := range r.graphs {
-		alt := r.reallocFeeds(r.affectedNets(n))
+		nets := r.affectedNets(n)
+		alt := r.reallocFeeds(nets)
 		if alt == nil {
 			continue
 		}
-		for nn, feeds := range alt {
+		for i, feeds := range alt {
+			nn := nets[i]
 			w := r.ckt.Nets[nn].Pitch
 			for _, f := range feeds {
 				for j := 0; j < w; j++ {

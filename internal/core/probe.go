@@ -66,7 +66,7 @@ func (p *Probe) DPrimeSweep() float64 {
 	r := p.r
 	var sum float64
 	for n := range r.graphs {
-		r.geoEpoch[n]++ // stale-stamp the d′ cache without touching the graph
+		r.touchGeo(n) // stale-stamp the d′ cache without touching the graph
 		for _, e := range r.graphs[n].NonBridges() {
 			sum += r.dPrime(n, e)
 		}

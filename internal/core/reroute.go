@@ -81,23 +81,26 @@ func (r *router) rerouteNet(n int, areaOrder bool, accept func(before, after obj
 }
 
 // tryReroute performs one rip-up/rebuild/reroute attempt, optionally with
-// alternative feedthroughs, reverting everything if accept rejects it.
-func (r *router) tryReroute(nets []int, altFeeds map[int][]rgraph.FeedPos, areaOrder bool, accept func(before, after objective) bool) (bool, error) {
+// alternative feedthroughs (altFeeds[i] belongs to nets[i]), reverting
+// everything if accept rejects it. The saved state is held in slices
+// aligned with nets so every save/restore sweep follows the caller's net
+// order exactly.
+func (r *router) tryReroute(nets []int, altFeeds [][]rgraph.FeedPos, areaOrder bool, accept func(before, after objective) bool) (bool, error) {
 	before := r.objective()
 
-	oldGraphs := make(map[int]*rgraph.Graph, len(nets))
-	oldFeeds := make(map[int][]rgraph.FeedPos, len(nets))
-	for _, nn := range nets {
-		oldGraphs[nn] = r.graphs[nn]
-		oldFeeds[nn] = r.feeds[nn]
+	oldGraphs := make([]*rgraph.Graph, len(nets))
+	oldFeeds := make([][]rgraph.FeedPos, len(nets))
+	for i, nn := range nets {
+		oldGraphs[i] = r.graphs[nn]
+		oldFeeds[i] = r.feeds[nn]
 		r.densRemoveGraph(nn, r.graphs[nn])
 	}
 	if altFeeds != nil {
 		for _, nn := range nets {
 			r.ownSlots(nn, r.feeds[nn], false)
 		}
-		for _, nn := range nets {
-			r.feeds[nn] = altFeeds[nn]
+		for i, nn := range nets {
+			r.feeds[nn] = altFeeds[i]
 			r.ownSlots(nn, r.feeds[nn], true)
 		}
 	}
@@ -108,18 +111,18 @@ func (r *router) tryReroute(nets []int, altFeeds map[int][]rgraph.FeedPos, areaO
 		for _, nn := range nets {
 			r.ownSlots(nn, r.feeds[nn], false)
 		}
-		for _, nn := range nets {
-			r.feeds[nn] = oldFeeds[nn]
+		for i, nn := range nets {
+			r.feeds[nn] = oldFeeds[i]
 			r.ownSlots(nn, r.feeds[nn], true)
 		}
 	}
 	restore := func() error {
-		for _, nn := range nets {
+		for i, nn := range nets {
 			r.densRemoveGraph(nn, r.graphs[nn])
-			r.graphs[nn] = oldGraphs[nn]
+			r.graphs[nn] = oldGraphs[i]
 			r.densAddGraph(nn, r.graphs[nn])
 			r.touchNet(nn)
-			r.geoEpoch[nn]++
+			r.touchGeo(nn)
 			r.dpCache[nn] = nil
 			r.dcCache[nn] = nil
 			r.recomputeNetChans(nn)
@@ -132,9 +135,9 @@ func (r *router) tryReroute(nets []int, altFeeds map[int][]rgraph.FeedPos, areaO
 		g, err := rgraph.Build(r.ckt, r.geo, nn, r.feeds[nn])
 		if err != nil {
 			// Put the old graphs and feeds back before failing.
-			for _, m := range nets {
-				if r.graphs[m] != oldGraphs[m] {
-					r.graphs[m] = oldGraphs[m]
+			for j, m := range nets {
+				if r.graphs[m] != oldGraphs[j] {
+					r.graphs[m] = oldGraphs[j]
 				}
 				r.densAddGraph(m, r.graphs[m])
 			}
@@ -144,7 +147,7 @@ func (r *router) tryReroute(nets []int, altFeeds map[int][]rgraph.FeedPos, areaO
 		r.graphs[nn] = g
 		r.densAddGraph(nn, g)
 		r.touchNet(nn)
-		r.geoEpoch[nn]++
+		r.touchGeo(nn)
 		r.dpCache[nn] = nil
 		r.dcCache[nn] = nil
 		r.recomputeNetChans(nn)
@@ -200,8 +203,9 @@ func (r *router) slotOwnerAt(row, col int) int {
 
 // reallocFeeds proposes moving the nets' feedthroughs to the free slot
 // groups nearest the net's terminal center (column-aligned across rows,
-// as in the initial assignment). It returns nil when nothing would move.
-func (r *router) reallocFeeds(nets []int) map[int][]rgraph.FeedPos {
+// as in the initial assignment). The result is aligned with nets
+// (out[i] replaces nets[i]'s feeds); it is nil when nothing would move.
+func (r *router) reallocFeeds(nets []int) [][]rgraph.FeedPos {
 	primary := nets[0]
 	cur := r.feeds[primary]
 	if len(cur) == 0 {
@@ -252,13 +256,13 @@ func (r *router) reallocFeeds(nets []int) map[int][]rgraph.FeedPos {
 	if !moved {
 		return nil
 	}
-	out := map[int][]rgraph.FeedPos{primary: alt}
+	out := [][]rgraph.FeedPos{alt}
 	if len(nets) == 2 {
 		mate := make([]rgraph.FeedPos, len(alt))
 		for i, f := range alt {
 			mate[i] = rgraph.FeedPos{Row: f.Row, Col: f.Col + mateShift}
 		}
-		out[nets[1]] = mate
+		out = append(out, mate)
 	}
 	return out
 }

@@ -132,14 +132,14 @@ type router struct {
 	nbEpoch []int32
 
 	// Incremental selection engine (see criteria.go).
-	best      []netBest // cached per-net ranked best candidate
-	netsOfCons [][]int  // reverse of dg.ConsOfNet: nets touching each constraint
-	netChans  [][]int   // distinct channels net n's edges read density from
-	sc        *scratch  // sequential scoring scratch
-	scratches []*scratch // per-worker scratches for parallel scoring
-	staleBuf  []int     // reusable buffers for selectEdge
-	unitBuf   []int
-	selStat   selStats
+	best       []netBest  // cached per-net ranked best candidate
+	netsOfCons [][]int    // reverse of dg.ConsOfNet: nets touching each constraint
+	netChans   [][]int    // distinct channels net n's edges read density from
+	sc         *scratch   // sequential scoring scratch
+	scratches  []*scratch // per-worker scratches for parallel scoring
+	staleBuf   []int      // reusable buffers for selectEdge
+	unitBuf    []int
+	selStat    selStats
 
 	// trunkCnt[ch][n] counts net n's alive trunk edges in channel ch; the
 	// area phase uses it to visit only nets present in the max channel.
@@ -169,7 +169,7 @@ func RouteCtx(ctx context.Context, ckt *circuit.Circuit, cfg Config) (*Result, e
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	start := time.Now()
+	start := time.Now() //bgr:allow clockuse -- profiling only: feeds Result.Duration, never steers routing
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: routing aborted: %w", err)
 	}
@@ -231,7 +231,7 @@ func RouteCtx(ctx context.Context, ckt *circuit.Circuit, cfg Config) (*Result, e
 			res.Delay = d
 		}
 	}
-	res.Duration = time.Since(start)
+	res.Duration = time.Since(start) //bgr:allow clockuse -- profiling only: feeds Result.Duration, never steers routing
 	return res, nil
 }
 
@@ -242,9 +242,9 @@ func (r *router) runPhase(name string, f func(*PhaseStat) error) error {
 	ps := PhaseStat{Name: name}
 	r.emit(Progress{Phase: name, Violations: r.liveViolations()})
 	selBefore := r.selStat
-	start := time.Now()
+	start := time.Now() //bgr:allow clockuse -- profiling only: feeds PhaseStat.Duration, never steers routing
 	err := f(&ps)
-	ps.Duration = time.Since(start)
+	ps.Duration = time.Since(start) //bgr:allow clockuse -- profiling only: feeds PhaseStat.Duration, never steers routing
 	ps.SelectDuration = r.selStat.dur - selBefore.dur
 	ps.SelectCalls = r.selStat.calls - selBefore.calls
 	ps.ScoredNets = r.selStat.scored - selBefore.scored
@@ -514,7 +514,11 @@ func (r *router) densFlipBridges(n int, flips []int) {
 // contain the changed nets are re-analyzed — exact, since the other
 // constraints' arc delays are untouched.
 func (r *router) refreshTrees(nets []int) error {
-	touched := map[int]bool{}
+	// Touched constraints are deduplicated with a mark slice and analyzed
+	// in ascending index order — never via map iteration, which would leak
+	// nondeterministic order into AnalyzeCons (bgr-vet: maporder).
+	seen := make([]bool, len(r.tm.Cons))
+	var touched []int
 	for _, n := range nets {
 		t, err := r.graphs[n].TentativeInto(r.trees[n])
 		if err != nil {
@@ -524,7 +528,10 @@ func (r *router) refreshTrees(nets []int) error {
 		r.wl[n] = t.Length
 		r.applyNetDelay(n)
 		for _, p := range r.dg.ConsOfNet(n) {
-			touched[p] = true
+			if !seen[p] {
+				seen[p] = true
+				touched = append(touched, p)
+			}
 		}
 	}
 	if len(nets) == len(r.graphs) || len(touched) == len(r.tm.Cons) {
@@ -533,12 +540,9 @@ func (r *router) refreshTrees(nets []int) error {
 			r.touchCons(p)
 		}
 	} else {
-		ps := make([]int, 0, len(touched))
-		for p := range touched {
-			ps = append(ps, p)
-		}
-		r.tm.AnalyzeCons(ps)
-		for _, p := range ps {
+		sort.Ints(touched)
+		r.tm.AnalyzeCons(touched)
+		for _, p := range touched {
 			r.touchCons(p)
 		}
 	}
@@ -558,6 +562,15 @@ func (r *router) touchNet(n int) {
 	if m := r.pairOf[n]; m != circuit.NoNet {
 		r.timEpoch[m]++
 	}
+}
+
+// touchGeo advances net n's geometry epoch after its alive-edge set
+// changed (or must be treated as changed), invalidating the d' cache and
+// the cached non-bridge candidate list — both are stamped with geoEpoch.
+// Every geoEpoch write outside initialization goes through here (the
+// bgr-vet epochs contract).
+func (r *router) touchGeo(n int) {
+	r.geoEpoch[n]++
 }
 
 // touchCons invalidates every net whose criteria read constraint p's
@@ -604,7 +617,7 @@ func (r *router) deleteEdge(n, e int) error {
 		flips := g.RecomputeBridges()
 		r.densFlipBridges(nn, flips)
 		r.touchNet(nn)
-		r.geoEpoch[nn]++
+		r.touchGeo(nn)
 		for _, re := range removed {
 			if r.trees[nn].InTree[re] {
 				dirty = append(dirty, nn)

@@ -313,6 +313,14 @@ func (t *Timing) SetNetArcDelays(net int, perSink []float64) {
 
 var negInf = math.Inf(-1)
 
+// unreached reports whether a longest-path value is still the -Inf
+// "no path reaches this vertex" sentinel. The sentinel is assigned and
+// propagated verbatim — never the result of arithmetic — so exact
+// comparison is the correct test.
+func unreached(x float64) bool {
+	return x == negInf //bgr:allow floateq -- -Inf sentinel stored verbatim; equality is exact
+}
+
 // Analyze recomputes every constraint's longest paths and margin from the
 // current arc delays.
 func (t *Timing) Analyze() {
@@ -347,7 +355,7 @@ func (t *Timing) analyzeOne(p int) {
 			}
 		}
 		for _, v := range g.topo {
-			if ct.LpF[v] == negInf {
+			if unreached(ct.LpF[v]) {
 				continue
 			}
 			for _, a := range g.out[v] {
@@ -372,7 +380,7 @@ func (t *Timing) analyzeOne(p int) {
 			}
 			for _, a := range g.out[v] {
 				w := g.Arcs[a].To
-				if ct.LpR[w] == negInf {
+				if unreached(ct.LpR[w]) {
 					continue
 				}
 				if d := ct.LpR[w] + t.ArcDelay[a]; d > ct.LpR[v] {
@@ -386,7 +394,7 @@ func (t *Timing) analyzeOne(p int) {
 				ct.Worst = ct.LpF[v]
 			}
 		}
-		if ct.Worst == negInf {
+		if unreached(ct.Worst) {
 			// No source reaches any sink: constraint is trivially met.
 			ct.Worst = 0
 		}
@@ -406,7 +414,7 @@ func (t *Timing) DeltaIfNetDelay(p, net int, dNew float64) float64 {
 			continue
 		}
 		v, w := t.G.Arcs[a].From, t.G.Arcs[a].To
-		if ct.LpF[v] == negInf || ct.LpF[w] == negInf {
+		if unreached(ct.LpF[v]) || unreached(ct.LpF[w]) {
 			continue
 		}
 		if d := ct.LpF[v] + dNew - ct.LpF[w]; d > worst {
@@ -425,7 +433,7 @@ func (t *Timing) CriticalNets(p int) []int {
 	seen := map[int]bool{}
 	var nets []int
 	for _, v := range t.G.topo {
-		if ct.LpF[v] == negInf || ct.LpR[v] == negInf {
+		if unreached(ct.LpF[v]) || unreached(ct.LpR[v]) {
 			continue
 		}
 		for _, a := range t.G.out[v] {
@@ -434,7 +442,7 @@ func (t *Timing) CriticalNets(p int) []int {
 				continue
 			}
 			w := arc.To
-			if ct.LpR[w] == negInf {
+			if unreached(ct.LpR[w]) {
 				continue
 			}
 			if math.Abs(ct.LpF[v]+t.ArcDelay[a]+ct.LpR[w]-ct.Worst) <= eps*(1+math.Abs(ct.Worst)) {
@@ -455,7 +463,7 @@ func (t *Timing) CriticalPath(p int) []int {
 	// Find the worst sink.
 	end := -1
 	for _, v := range m.sinks {
-		if ct.LpF[v] == ct.Worst && ct.LpF[v] != negInf {
+		if !unreached(ct.LpF[v]) && ct.LpF[v] == ct.Worst { //bgr:allow floateq -- Worst is a verbatim copy of one sink's LpF; equality is exact
 			end = v
 			break
 		}
@@ -469,7 +477,7 @@ func (t *Timing) CriticalPath(p int) []int {
 		found := -1
 		for _, a := range t.G.in[v] {
 			u := t.G.Arcs[a].From
-			if ct.LpF[u] == negInf {
+			if unreached(ct.LpF[u]) {
 				continue
 			}
 			d := ct.LpF[u] + t.ArcDelay[a]
@@ -520,7 +528,7 @@ func (g *Graph) NetSlacks() []float64 {
 					continue
 				}
 				v, w := g.Arcs[a].From, g.Arcs[a].To
-				if ct.LpF[v] == negInf || ct.LpR[w] == negInf {
+				if unreached(ct.LpF[v]) || unreached(ct.LpR[w]) {
 					continue
 				}
 				s := g.Ckt.Cons[p].Limit - (ct.LpF[v] + t.ArcDelay[a] + ct.LpR[w])

@@ -83,9 +83,9 @@ func Assign(ckt *circuit.Circuit, order []int) (*Result, error) {
 // wide nets in the failed pass).
 func insertForShortfall(ckt *circuit.Circuit, geo *grid.Geometry, p *pass, added *int) (*circuit.Circuit, *grid.Geometry, error) {
 	maxRowNeed := 0 // F = max_r F(r), F(r) = Σ_w w·F(w,r)
-	rowNeed := make(map[int]int)
-	for key, cnt := range p.shortfall {
-		rowNeed[key.row] += key.width * cnt
+	rowNeed := make([]int, ckt.Rows)
+	for _, s := range p.shortfall {
+		rowNeed[s.row] += s.width * s.count
 	}
 	for _, need := range rowNeed {
 		if need > maxRowNeed {
@@ -93,13 +93,13 @@ func insertForShortfall(ckt *circuit.Circuit, geo *grid.Geometry, p *pass, added
 		}
 	}
 	var groups []grid.FeedGroupSpec
-	groupFlags := make(map[int][]int) // row -> flag per requested group, in order
+	groupFlags := make([][]int, ckt.Rows) // row -> flag per requested group, in order
 	for r := 0; r < ckt.Rows; r++ {
 		var widths []int
-		for key, cnt := range p.shortfall {
-			if key.row == r && key.width >= 2 {
-				for i := 0; i < cnt; i++ {
-					widths = append(widths, key.width)
+		for _, s := range p.shortfall {
+			if s.row == r && s.width >= 2 {
+				for i := 0; i < s.count; i++ {
+					widths = append(widths, s.width)
 				}
 			}
 		}
@@ -108,7 +108,7 @@ func insertForShortfall(ckt *circuit.Circuit, geo *grid.Geometry, p *pass, added
 			groups = append(groups, grid.FeedGroupSpec{Row: r, Width: w})
 			groupFlags[r] = append(groupFlags[r], w)
 		}
-		singles := p.shortfall[shortKey{row: r, width: 1}] + maxRowNeed - rowNeed[r]
+		singles := p.shortfallAt(r, 1) + maxRowNeed - rowNeed[r]
 		for i := 0; i < singles; i++ {
 			groups = append(groups, grid.FeedGroupSpec{Row: r, Width: 1})
 			groupFlags[r] = append(groupFlags[r], 1)
@@ -188,6 +188,15 @@ func completeOrder(ckt *circuit.Circuit, order []int) []int {
 
 type shortKey struct{ row, width int }
 
+// shortfallCount is one F(w,r) counter. The counters live in a slice (in
+// first-shortfall order) rather than a map so every sweep over them is
+// deterministic; the handful of distinct (row,width) keys makes the
+// linear scans cheap.
+type shortfallCount struct {
+	shortKey
+	count int
+}
+
 type reservation struct {
 	row, cell, offset, flag int
 }
@@ -200,19 +209,39 @@ type pass struct {
 	occupied  []bool // (row*cols + col) slot taken; row-major flat grid
 	cols      int
 	feeds     [][]rgraph.FeedPos
-	shortfall map[shortKey]int
+	shortfall []shortfallCount
 	reserved  []reservation
 	done      []bool
+}
+
+// addShortfall counts one unassignable width-w feedthrough in row r.
+func (p *pass) addShortfall(row, width int) {
+	for i := range p.shortfall {
+		if p.shortfall[i].row == row && p.shortfall[i].width == width {
+			p.shortfall[i].count++
+			return
+		}
+	}
+	p.shortfall = append(p.shortfall, shortfallCount{shortKey{row: row, width: width}, 1})
+}
+
+// shortfallAt returns F(width,row), zero when the pass never fell short.
+func (p *pass) shortfallAt(row, width int) int {
+	for _, s := range p.shortfall {
+		if s.row == row && s.width == width {
+			return s.count
+		}
+	}
+	return 0
 }
 
 func newPass(ckt *circuit.Circuit, geo *grid.Geometry, respectFlags bool) *pass {
 	return &pass{
 		ckt: ckt, geo: geo, respectFlags: respectFlags,
-		occupied:  make([]bool, ckt.Rows*ckt.Cols),
-		cols:      ckt.Cols,
-		feeds:     make([][]rgraph.FeedPos, len(ckt.Nets)),
-		shortfall: map[shortKey]int{},
-		done:      make([]bool, len(ckt.Nets)),
+		occupied: make([]bool, ckt.Rows*ckt.Cols),
+		cols:     ckt.Cols,
+		feeds:    make([][]rgraph.FeedPos, len(ckt.Nets)),
+		done:     make([]bool, len(ckt.Nets)),
 	}
 }
 
@@ -342,7 +371,7 @@ func (p *pass) assignNet(n, width int) {
 	for r := minCh; r < maxCh; r++ {
 		col := p.findGroup(r, width, target, width)
 		if col < 0 {
-			p.shortfall[shortKey{row: r, width: width}]++
+			p.addShortfall(r, width)
 			continue
 		}
 		p.take(r, col, width, width, n)
@@ -364,7 +393,7 @@ func (p *pass) assignPair(a, b int) {
 	for r := minCh; r < maxCh; r++ {
 		col := p.findGroup(r, 2, target, 2)
 		if col < 0 {
-			p.shortfall[shortKey{row: r, width: 2}]++
+			p.addShortfall(r, 2)
 			continue
 		}
 		p.take(r, col, 2, 2, a)

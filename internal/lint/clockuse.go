@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// analyzerClockUse flags wall-clock reads (time.Now, time.Since,
+// time.Until) and any use of math/rand inside the deterministic packages.
+// Routing decisions must be pure functions of the circuit and Config;
+// a clock or PRNG read anywhere in the decision path makes reruns
+// unreproducible. The PhaseStat/selStats profiling sites in core are the
+// sanctioned exceptions — they measure the run without steering it — and
+// carry //bgr:allow clockuse directives saying so.
+var analyzerClockUse = &Analyzer{
+	Name:              "clockuse",
+	Doc:               "flags time.Now/time.Since/math-rand in deterministic packages",
+	DeterministicOnly: true,
+	Run: func(pkg *Package) []Diagnostic {
+		var out []Diagnostic
+		clockFuncs := map[string]bool{"Now": true, "Since": true, "Until": true}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if clockFuncs[obj.Name()] {
+						out = append(out, pkg.diag(sel.Pos(), "clockuse",
+							"time.%s in a deterministic package: the routing result must not depend on the clock (profiling-only reads need a //bgr:allow)", obj.Name()))
+					}
+				case "math/rand", "math/rand/v2":
+					out = append(out, pkg.diag(sel.Pos(), "clockuse",
+						"%s.%s in a deterministic package: routing must be a pure function of circuit and Config", obj.Pkg().Path(), obj.Name()))
+				}
+				return true
+			})
+		}
+		return out
+	},
+}

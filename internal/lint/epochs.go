@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerEpochs enforces the PR-2 cache contract: epoch and version
+// counters (router.timEpoch/geoEpoch/nbEpoch, density.State.version) are
+// the invalidation backbone of the incremental selection engine, and a
+// write to one of them anywhere except its owning bump/invalidate method
+// bypasses the paired bookkeeping (mate invalidation, dirty marking) that
+// keeps cached criteria exact.
+//
+// A field is an epoch field when its name ends in "Epoch" or is exactly
+// "epoch" or "version". A write is sanctioned when the enclosing function
+// is a bump site — its name contains "touch", "bump" or "invalidate" — or
+// an initializer (prefix "init", "new", "setup" or "reset", where the
+// counters are first laid out). Anything else needs a //bgr:allow epochs
+// directive explaining why the raw write is safe.
+var analyzerEpochs = &Analyzer{
+	Name:              "epochs",
+	Doc:               "flags epoch/version cache-field writes outside bump methods",
+	DeterministicOnly: true,
+	Run: func(pkg *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || epochBumpSite(fd.Name.Name) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch st := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range st.Lhs {
+							if name, ok := epochFieldWrite(pkg, lhs); ok {
+								out = append(out, pkg.diag(lhs.Pos(), "epochs",
+									"write to epoch field %q outside a bump/invalidate method (%s): route it through the owning bump method so paired invalidation stays intact", name, fd.Name.Name))
+							}
+						}
+					case *ast.IncDecStmt:
+						if name, ok := epochFieldWrite(pkg, st.X); ok {
+							out = append(out, pkg.diag(st.X.Pos(), "epochs",
+								"write to epoch field %q outside a bump/invalidate method (%s): route it through the owning bump method so paired invalidation stays intact", name, fd.Name.Name))
+						}
+					}
+					return true
+				})
+			}
+		}
+		return out
+	},
+}
+
+// epochBumpSite reports whether a function name marks a sanctioned
+// epoch-mutation site.
+func epochBumpSite(name string) bool {
+	l := strings.ToLower(name)
+	if strings.Contains(l, "touch") || strings.Contains(l, "bump") || strings.Contains(l, "invalidate") {
+		return true
+	}
+	for _, p := range []string{"init", "new", "setup", "reset"} {
+		if strings.HasPrefix(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// epochFieldWrite reports whether the assignment target is (an element
+// of) a struct field with an epoch-like name, returning the field name.
+func epochFieldWrite(pkg *Package, lhs ast.Expr) (string, bool) {
+	for {
+		ix, ok := lhs.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		lhs = ix.X
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if strings.HasSuffix(name, "Epoch") || name == "epoch" || name == "version" {
+		return name, true
+	}
+	return "", false
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerFloatEq flags == and != between floating-point operands in the
+// deterministic packages. The selection criteria (§3.4/§3.5) order
+// candidates through documented comparison keys with an fEps tolerance;
+// a raw float equality in a tie-break resolves differently depending on
+// summation order and optimization level, which is exactly the kind of
+// silent nondeterminism the suite exists to catch. Exact sentinel
+// comparisons (e.g. dgraph's -Inf "unreached" labels) are legitimate —
+// suppress them with //bgr:allow floateq -- <why the comparison is exact>.
+var analyzerFloatEq = &Analyzer{
+	Name:              "floateq",
+	Doc:               "flags ==/!= on floating-point operands in deterministic packages",
+	DeterministicOnly: true,
+	Run: func(pkg *Package) []Diagnostic {
+		var out []Diagnostic
+		isFloat := func(e ast.Expr) bool {
+			t := pkg.Info.TypeOf(e)
+			if t == nil {
+				return false
+			}
+			b, ok := t.Underlying().(*types.Basic)
+			return ok && b.Info()&types.IsFloat != 0
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(be.X) || isFloat(be.Y) {
+					out = append(out, pkg.diag(be.OpPos, "floateq",
+						"floating-point %s comparison: use an epsilon tolerance (fEps) or an integer comparison key", be.Op))
+				}
+				return true
+			})
+		}
+		return out
+	},
+}

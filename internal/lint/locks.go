@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerLocks applies two simple lock-hygiene heuristics everywhere in
+// the module (the service layer holds real mutexes; determinism is not
+// the concern here, deadlocks and torn state are):
+//
+//  1. a sync.Mutex or sync.RWMutex copied by value — as a parameter,
+//     result, or plain assignment from an existing variable — guards
+//     nothing (go vet's copylocks catches deeper cases; this is the
+//     direct form);
+//  2. a Lock()/RLock() call with no paired release: neither a matching
+//     defer Unlock/RUnlock later in the same block, nor a matching
+//     explicit Unlock later in the same block with no return statement
+//     between the two.
+//
+// The pairing check is deliberately shallow — it inspects one block at a
+// time and only flags patterns that are locally provably unpaired or
+// cross a return. Convoluted-but-correct flows can carry a
+// //bgr:allow locks directive with the invariant spelled out.
+var analyzerLocks = &Analyzer{
+	Name: "locks",
+	Doc:  "flags mutexes copied by value and Lock calls without a paired release",
+	Run: func(pkg *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					out = append(out, checkSigCopies(pkg, n)...)
+				case *ast.AssignStmt:
+					out = append(out, checkAssignCopies(pkg, n)...)
+				case *ast.BlockStmt:
+					out = append(out, checkLockPairing(pkg, n)...)
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// mutexName returns "Mutex" or "RWMutex" when t is the sync value type.
+func mutexName(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false
+	}
+	if n := obj.Name(); n == "Mutex" || n == "RWMutex" {
+		return n, true
+	}
+	return "", false
+}
+
+func checkSigCopies(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pkg.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if name, ok := mutexName(t); ok {
+				out = append(out, pkg.diag(field.Type.Pos(), "locks",
+					"sync.%s %s by value in %s: the copy guards nothing; use *sync.%s", name, what, fd.Name.Name, name))
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "passed")
+	check(fd.Type.Results, "returned")
+	return out
+}
+
+func checkAssignCopies(pkg *Package, st *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	for _, rhs := range st.Rhs {
+		switch rhs.(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			continue // fresh value, nothing copied
+		}
+		t := pkg.Info.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if name, ok := mutexName(t); ok {
+			out = append(out, pkg.diag(rhs.Pos(), "locks",
+				"sync.%s copied by value: lock state is duplicated, not shared; copy a pointer instead", name))
+		}
+	}
+	return out
+}
+
+// lockCall matches a top-level `recv.Lock()` / `recv.RLock()` statement on
+// a sync mutex and returns the rendered receiver, the acquire method name
+// and the matching release method name.
+func lockCall(pkg *Package, st ast.Stmt) (recv, acquire, release string, pos ast.Node, ok bool) {
+	sel, name, okc := syncMethodCall(pkg, st)
+	if !okc {
+		return "", "", "", nil, false
+	}
+	switch name {
+	case "Lock":
+		return types.ExprString(sel.X), name, "Unlock", sel, true
+	case "RLock":
+		return types.ExprString(sel.X), name, "RUnlock", sel, true
+	}
+	return "", "", "", nil, false
+}
+
+// syncMethodCall matches `expr.M()` statements where M is a method of a
+// sync type, returning the selector and method name.
+func syncMethodCall(pkg *Package, st ast.Stmt) (*ast.SelectorExpr, string, bool) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil, "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	return sel, obj.Name(), true
+}
+
+// deferredRelease matches `defer recv.release()`.
+func deferredRelease(pkg *Package, st ast.Stmt, recv, release string) bool {
+	ds, ok := st.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := ds.Call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != release {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return types.ExprString(sel.X) == recv
+}
+
+// explicitRelease matches a top-level `recv.release()` statement.
+func explicitRelease(pkg *Package, st ast.Stmt, recv, release string) bool {
+	sel, name, ok := syncMethodCall(pkg, st)
+	return ok && name == release && types.ExprString(sel.X) == recv
+}
+
+func containsReturn(stmts []ast.Stmt) bool {
+	found := false
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ReturnStmt:
+				found = true
+			case *ast.FuncLit:
+				return false // returns inside a closure leave the closure only
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLockPairing scans one block's statement list for Lock/RLock calls
+// and verifies each has a deferred or return-safe explicit release.
+func checkLockPairing(pkg *Package, blk *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	for i, st := range blk.List {
+		recv, acquire, release, at, ok := lockCall(pkg, st)
+		if !ok {
+			continue
+		}
+		rest := blk.List[i+1:]
+		paired := false
+		for _, later := range rest {
+			if deferredRelease(pkg, later, recv, release) {
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			for j, later := range rest {
+				if explicitRelease(pkg, later, recv, release) {
+					if !containsReturn(rest[:j]) {
+						paired = true
+					}
+					break
+				}
+			}
+		}
+		if !paired {
+			out = append(out, pkg.diag(at.Pos(), "locks",
+				"%s.%s() without a paired %s on every return path: defer %s.%s() right after the acquire, or release before any return", recv, acquire, release, recv, release))
+		}
+	}
+	return out
+}

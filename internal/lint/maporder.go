@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerMapOrder flags `range` statements over map-typed values inside
+// the deterministic packages. Go randomizes map iteration order per run,
+// so any map range whose body's effect depends on visit order — appending
+// to a slice, picking a max with ties, emitting output — breaks the
+// byte-identical routedb guarantee. Keyed map lookups are fine; only the
+// range form is flagged. Fix by iterating a sorted key slice, an
+// int-indexed slice, or the original input ordering.
+var analyzerMapOrder = &Analyzer{
+	Name:              "maporder",
+	Doc:               "flags range over maps in deterministic packages",
+	DeterministicOnly: true,
+	Run: func(pkg *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pkg.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					out = append(out, pkg.diag(rs.Pos(), "maporder",
+						"range over %s: map iteration order is nondeterministic; iterate a sorted key slice or an indexed slice instead", types.TypeString(t, types.RelativeTo(pkg.Types))))
+				}
+				return true
+			})
+		}
+		return out
+	},
+}

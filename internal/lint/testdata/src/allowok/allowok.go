@@ -1,0 +1,22 @@
+// Fixture for well-formed //bgr:allow suppressions: every diagnostic in
+// this file is suppressed, once by a trailing same-line directive and
+// once by a directive on the line directly above, so the suite must
+// report nothing at all.
+package core
+
+import "time"
+
+func profile(f func()) time.Duration {
+	start := time.Now() //bgr:allow clockuse -- fixture: profiling-only read, result never steers routing
+	f()
+	return time.Since(start) //bgr:allow clockuse -- fixture: profiling-only read, result never steers routing
+}
+
+func sum(m map[int]int) int {
+	total := 0
+	//bgr:allow maporder -- fixture: summation is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

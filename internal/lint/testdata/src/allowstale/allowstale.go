@@ -1,0 +1,19 @@
+// Fixture for directive rot: a suppression that no longer suppresses
+// anything, one naming an unknown analyzer, and one missing the
+// " -- reason" separator must each surface as an "allow" diagnostic.
+package core
+
+//bgr:allow maporder -- nothing here ranges a map any more
+func fine(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//bgr:allow notananalyzer -- no analyzer has this name
+var a = 1
+
+//bgr:allow floateq missing the reason separator
+var b = 2

@@ -1,0 +1,20 @@
+// Fixture for the clockuse analyzer: the package is named "core" so the
+// deterministic-only analyzers treat it as part of the routing core.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Duration {
+	start := time.Now()      // want "time\.Now in a deterministic package"
+	return time.Since(start) // want "time\.Since in a deterministic package"
+}
+
+func jitter() int {
+	return rand.Intn(4) // want "math/rand\.Intn in a deterministic package"
+}
+
+// scale only computes on an existing duration — no clock read: clean.
+func scale(d time.Duration) float64 { return d.Seconds() }

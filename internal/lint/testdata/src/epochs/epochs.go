@@ -1,0 +1,25 @@
+// Fixture for the epochs analyzer: the package is named "core" so the
+// deterministic-only analyzers treat it as part of the routing core.
+package core
+
+type state struct {
+	geoEpoch []int
+	version  int
+}
+
+// touchGeo is the owning bump method; the write here is sanctioned.
+func (s *state) touchGeo(n int) { s.geoEpoch[n]++ }
+
+// newState is an initializer; laying out the counters is sanctioned.
+func newState(n int) *state { return &state{geoEpoch: make([]int, n)} }
+
+func (s *state) skipCache(n int) {
+	s.geoEpoch[n]++ // want "write to epoch field .geoEpoch. outside a bump/invalidate method \(skipCache\)"
+}
+
+func (s *state) stamp() {
+	s.version = 7 // want "write to epoch field .version. outside a bump/invalidate method \(stamp\)"
+}
+
+// read only inspects the counters: clean.
+func (s *state) read(n int) int { return s.geoEpoch[n] + s.version }

@@ -1,0 +1,25 @@
+// Fixture for the floateq analyzer: the package is named "dgraph" so the
+// deterministic-only analyzers treat it as part of the routing core.
+package dgraph
+
+const eps = 1e-9
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func neq(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// closeEnough is the sanctioned epsilon form: clean.
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// intEq compares integers: clean.
+func intEq(a, b int) bool { return a == b }

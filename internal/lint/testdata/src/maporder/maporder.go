@@ -1,0 +1,24 @@
+// Fixture for the maporder analyzer: the package is named "core" so the
+// deterministic-only analyzers treat it as part of the routing core.
+package core
+
+import "sort"
+
+// sortedSum shows the flagged form and its fix side by side: the key
+// collection still ranges the map (flagged), the summation walks the
+// sorted key slice (clean).
+func sortedSum(m map[int]int) int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want "range over map\[int\]int"
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	sum := 0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// lookup indexes a map without ranging it: clean.
+func lookup(m map[string]int, key string) int { return m[key] }

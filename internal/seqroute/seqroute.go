@@ -59,7 +59,7 @@ func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
 	if err := ckt.Validate(); err != nil {
 		return nil, fmt.Errorf("seqroute: %w", err)
 	}
-	if cfg.Alpha == 0 {
+	if cfg.Alpha == 0 { //bgr:allow floateq -- zero-value Config sentinel: an unset Alpha is exactly 0
 		cfg.Alpha = 0.35
 	}
 	var order []int
@@ -168,7 +168,7 @@ func congestionTree(g *rgraph.Graph, dens *density.State, alpha float64, target 
 			if over > 0 {
 				c *= 1 + alpha*float64(over)
 			}
-			if c == 0 {
+			if c == 0 { //bgr:allow floateq -- guards against an exactly-zero-length trunk cost before Dijkstra
 				c = 1e-9
 			}
 		}

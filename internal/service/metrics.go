@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,11 +146,22 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) MetricsSnapsho
 		PhaseLatency:  make(map[string]histogramJSON, len(m.phases)),
 		SelectLatency: make(map[string]histogramJSON, len(m.selects)),
 	}
-	for name, h := range m.phases {
-		out.PhaseLatency[name] = h.export()
+	for _, name := range sortedKeys(m.phases) {
+		out.PhaseLatency[name] = m.phases[name].export()
 	}
-	for name, h := range m.selects {
-		out.SelectLatency[name] = h.export()
+	for _, name := range sortedKeys(m.selects) {
+		out.SelectLatency[name] = m.selects[name].export()
 	}
 	return out
+}
+
+// sortedKeys returns a histogram map's keys in sorted order so the
+// snapshot is assembled in a stable sequence regardless of map layout.
+func sortedKeys(m map[string]*histogram) []string {
+	keys := make([]string, 0, len(m))
+	for name := range m {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	return keys
 }
