@@ -278,6 +278,71 @@ func BenchmarkSTA(b *testing.B) {
 	}
 }
 
+// BenchmarkTimingFlush measures the incremental timing engine on C3P1: a
+// sparse net perturbation followed by a dirty-set Flush, sequential and
+// parallel, against the old per-constraint full-topo walk over the same
+// dirty set (ReferenceWorst is that walk, kept as the equivalence oracle).
+func BenchmarkTimingFlush(b *testing.B) {
+	ckt := mustDataset(b, "C3P1")
+	dg, err := dgraph.New(ckt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := make([]float64, len(ckt.Nets))
+	for i := range wl {
+		wl[i] = 300
+	}
+	// The perturbed nets: a deterministic sparse sample, the shape of one
+	// rip-up-and-reroute step (a net and its differential mate).
+	nets := make([]int, 0, 8)
+	for i := 0; i < 8; i++ {
+		nets = append(nets, (i*131)%len(ckt.Nets))
+	}
+	run := func(b *testing.B, workers int) {
+		tm := dg.NewTiming()
+		tm.Workers = workers
+		tm.SetLumped(wl)
+		tm.Flush()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, n := range nets {
+				tm.SetNetLumped(n, 300+float64(i%7))
+			}
+			tm.Flush()
+		}
+	}
+	b.Run("flush/seq", func(b *testing.B) { run(b, 1) })
+	b.Run("flush/par", func(b *testing.B) { run(b, 0) })
+	b.Run("fullwalk", func(b *testing.B) {
+		tm := dg.NewTiming()
+		tm.SetLumped(wl)
+		tm.Flush()
+		seen := make([]bool, len(tm.Cons))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Replicates the pre-subgraph refreshTrees: dedupe the
+			// affected constraints, then run the graph-sized topo walk
+			// (what analyzeOne used to be) for each.
+			var touched []int
+			for _, n := range nets {
+				tm.SetNetLumped(n, 300+float64(i%7))
+				for _, p := range dg.ConsOfNet(n) {
+					if !seen[p] {
+						seen[p] = true
+						touched = append(touched, p)
+					}
+				}
+			}
+			var sink float64
+			for _, p := range touched {
+				sink += tm.ReferenceWorst(p) // the old graph-sized topo walk
+				seen[p] = false
+			}
+			_ = sink
+		}
+	})
+}
+
 func BenchmarkDensityUpdate(b *testing.B) {
 	s := density.New(8, 300)
 	b.ResetTimer()

@@ -207,11 +207,12 @@ func main() {
 	fmt.Printf("route time   %v\n", res.Duration.Round(time.Microsecond))
 	if *phases {
 		fmt.Println()
-		fmt.Println("phase                    deletions  reroutes  accepted      time    select    scored    reused")
+		fmt.Println("phase                    deletions  reroutes  accepted      time    select    scored    reused    timing      cons")
 		for _, ps := range res.Phases {
-			fmt.Printf("%-24s %9d %9d %9d %9v %9v %9d %9d\n",
+			fmt.Printf("%-24s %9d %9d %9d %9v %9v %9d %9d %9v %9d\n",
 				ps.Name, ps.Deletions, ps.Reroutes, ps.Accepted, ps.Duration.Round(time.Microsecond),
-				ps.SelectDuration.Round(time.Microsecond), ps.ScoredNets, ps.ReusedNets)
+				ps.SelectDuration.Round(time.Microsecond), ps.ScoredNets, ps.ReusedNets,
+				ps.TimingDuration.Round(time.Microsecond), ps.TimingCons)
 		}
 	}
 }

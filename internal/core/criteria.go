@@ -281,24 +281,13 @@ func (r *router) delayCriteriaSc(n, e int, sc *scratch) delayCrit {
 			out.gl += pen(lm, tau) - pen(margin, tau)
 			for _, d := range deltas[:nd] {
 				if inc := d.dNew - d.dCur; inc > 0 {
-					out.ld += inc * float64(r.arcsInGd(p, d.net))
+					out.ld += inc * float64(r.dg.ArcsInGd(p, d.net))
 				}
 			}
 		}
 	}
 	*c = out
 	return out
-}
-
-// arcsInGd counts net arcs of a net inside Gd(P).
-func (r *router) arcsInGd(p, n int) int {
-	count := 0
-	for _, a := range r.dg.NetArcs(n) {
-		if r.dg.InGd(p, a) {
-			count++
-		}
-	}
-	return count
 }
 
 // selectEdge returns the deletion candidate the §3.4 (or §3.5 area)

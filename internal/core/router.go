@@ -50,6 +50,13 @@ type PhaseStat struct {
 	// Their ratio is the effectiveness of the incremental engine.
 	ScoredNets int
 	ReusedNets int
+	// TimingDuration is the part of Duration spent inside Timing.Flush —
+	// the incremental re-analysis of constraints dirtied by rerouted nets.
+	TimingDuration time.Duration
+	// TimingFlushes counts Flush calls; TimingCons sums the constraints
+	// each flush actually re-analyzed (the dirty-set sizes).
+	TimingFlushes int
+	TimingCons    int
 }
 
 // Result is a finished global routing.
@@ -140,6 +147,7 @@ type router struct {
 	staleBuf   []int      // reusable buffers for selectEdge
 	unitBuf    []int
 	selStat    selStats
+	timStat    timStats
 
 	// trunkCnt[ch][n] counts net n's alive trunk edges in channel ch; the
 	// area phase uses it to visit only nets present in the max channel.
@@ -155,6 +163,14 @@ type selStats struct {
 	scored int
 	reused int
 	dur    time.Duration
+}
+
+// timStats are cumulative timing-flush counters; runPhase records
+// per-phase deltas into PhaseStat.
+type timStats struct {
+	flushes int
+	cons    int
+	dur     time.Duration
 }
 
 // Route runs the full global routing algorithm on a validated circuit.
@@ -242,6 +258,7 @@ func (r *router) runPhase(name string, f func(*PhaseStat) error) error {
 	ps := PhaseStat{Name: name}
 	r.emit(Progress{Phase: name, Violations: r.liveViolations()})
 	selBefore := r.selStat
+	timBefore := r.timStat
 	start := time.Now() //bgr:allow clockuse -- profiling only: feeds PhaseStat.Duration, never steers routing
 	err := f(&ps)
 	ps.Duration = time.Since(start) //bgr:allow clockuse -- profiling only: feeds PhaseStat.Duration, never steers routing
@@ -249,13 +266,17 @@ func (r *router) runPhase(name string, f func(*PhaseStat) error) error {
 	ps.SelectCalls = r.selStat.calls - selBefore.calls
 	ps.ScoredNets = r.selStat.scored - selBefore.scored
 	ps.ReusedNets = r.selStat.reused - selBefore.reused
+	ps.TimingDuration = r.timStat.dur - timBefore.dur
+	ps.TimingFlushes = r.timStat.flushes - timBefore.flushes
+	ps.TimingCons = r.timStat.cons - timBefore.cons
 	r.phases = append(r.phases, ps)
 	if r.cfg.Trace != nil {
-		fmt.Fprintf(r.cfg.Trace, "phase %-20s deletions=%-5d (corr=%d branch=%d trunk=%d feed=%d) reroutes=%-4d accepted=%-4d select=%v/%d scored=%d reused=%d %v err=%v\n",
+		fmt.Fprintf(r.cfg.Trace, "phase %-20s deletions=%-5d (corr=%d branch=%d trunk=%d feed=%d) reroutes=%-4d accepted=%-4d select=%v/%d scored=%d reused=%d timing=%v/%d cons=%d %v err=%v\n",
 			name, ps.Deletions, ps.ByKind[rgraph.ECorr], ps.ByKind[rgraph.EBranch],
 			ps.ByKind[rgraph.ETrunk], ps.ByKind[rgraph.EFeed],
 			ps.Reroutes, ps.Accepted, ps.SelectDuration.Round(time.Millisecond), ps.SelectCalls,
-			ps.ScoredNets, ps.ReusedNets, ps.Duration.Round(time.Millisecond), err)
+			ps.ScoredNets, ps.ReusedNets, ps.TimingDuration.Round(time.Millisecond), ps.TimingFlushes,
+			ps.TimingCons, ps.Duration.Round(time.Millisecond), err)
 	}
 	if err == nil {
 		r.emit(Progress{Phase: name, Deletions: ps.Deletions, Reroutes: ps.Reroutes,
@@ -412,6 +433,7 @@ func (r *router) setup() error {
 	}
 	r.buildIndexes()
 	r.tm = r.dg.NewTiming()
+	r.tm.Workers = r.cfg.Workers
 	if err := r.refreshTrees(allNets(nNets)); err != nil {
 		return err
 	}
@@ -510,15 +532,12 @@ func (r *router) densFlipBridges(n int, flips []int) {
 }
 
 // refreshTrees recomputes tentative trees, wire lengths, net delays and the
-// timing analysis for the given nets. Only the constraints whose subgraphs
-// contain the changed nets are re-analyzed — exact, since the other
-// constraints' arc delays are untouched.
+// timing analysis for the given nets. applyNetDelay marks each changed
+// net's constraints dirty through the Timing setters, and Flush re-analyzes
+// exactly that set (ascending constraint order, so cache invalidation
+// stays deterministic) — exact, since the other constraints' arc delays
+// are untouched.
 func (r *router) refreshTrees(nets []int) error {
-	// Touched constraints are deduplicated with a mark slice and analyzed
-	// in ascending index order — never via map iteration, which would leak
-	// nondeterministic order into AnalyzeCons (bgr-vet: maporder).
-	seen := make([]bool, len(r.tm.Cons))
-	var touched []int
 	for _, n := range nets {
 		t, err := r.graphs[n].TentativeInto(r.trees[n])
 		if err != nil {
@@ -527,24 +546,14 @@ func (r *router) refreshTrees(nets []int) error {
 		r.trees[n] = t
 		r.wl[n] = t.Length
 		r.applyNetDelay(n)
-		for _, p := range r.dg.ConsOfNet(n) {
-			if !seen[p] {
-				seen[p] = true
-				touched = append(touched, p)
-			}
-		}
 	}
-	if len(nets) == len(r.graphs) || len(touched) == len(r.tm.Cons) {
-		r.tm.Analyze()
-		for p := range r.netsOfCons {
-			r.touchCons(p)
-		}
-	} else {
-		sort.Ints(touched)
-		r.tm.AnalyzeCons(touched)
-		for _, p := range touched {
-			r.touchCons(p)
-		}
+	start := time.Now() //bgr:allow clockuse -- profiling only: feeds PhaseStat.TimingDuration, never steers routing
+	touched := r.tm.Flush()
+	r.timStat.dur += time.Since(start) //bgr:allow clockuse -- profiling only: feeds PhaseStat.TimingDuration, never steers routing
+	r.timStat.flushes++
+	r.timStat.cons += len(touched)
+	for _, p := range touched {
+		r.touchCons(p)
 	}
 	// The rebuilt nets' own wl/tree changed even if they touch no
 	// constraint (dCur and the d' in-tree shortcut read them).

@@ -42,6 +42,9 @@ type Graph struct {
 	cons    []consMask
 	// consOfNet[n] lists constraints whose Gd(P) contains an arc of n.
 	consOfNet [][]int
+	// subs[p] is the compact induced subgraph of Gd(P) (see subgraph.go):
+	// the per-constraint analysis walks it instead of the global graph.
+	subs []subgraph
 }
 
 type consMask struct {
@@ -127,6 +130,7 @@ func New(ckt *circuit.Circuit) (*Graph, error) {
 		return nil, err
 	}
 	g.buildConstraintMasks()
+	g.buildSubgraphs()
 	return g, nil
 }
 
@@ -251,41 +255,73 @@ func (g *Graph) LumpedArcDelay(net int, wirelenUm float64) float64 {
 }
 
 // Timing holds arc delays plus per-constraint longest-path results. Create
-// one with NewTiming, set delays, then Analyze.
+// one with NewTiming, set delays, then Flush (or Analyze). The delay
+// setters record which constraints are affected in a dirty set; Flush
+// re-analyzes exactly those, fanning large batches out over Workers with
+// byte-identical results for every worker count.
 type Timing struct {
 	G        *Graph
 	ArcDelay []float64
 	Cons     []ConsTiming
+
+	// Workers bounds the Flush fan-out over dirty constraints, following
+	// the core.Config.Workers convention: 0 = one per CPU, 1 = sequential.
+	Workers int
+
+	// Dirty-set bookkeeping. Owned by MarkNet/MarkAll/Flush — the bgr-vet
+	// epochs analyzer rejects writes anywhere else, so the affected-
+	// constraint tracking cannot be bypassed by a shortcut write.
+	dirty      []bool
+	dirtyCount int
+	flushBuf   []int
+
+	// netSeen/netGen are the CriticalNets dedup scratch: a nets-aligned
+	// mark slice with a generation counter (no per-call map allocation).
+	netSeen []int
+	netGen  int
+
+	// refF is the graph-sized scratch of ReferenceWorst.
+	refF []float64
 }
 
 // ConsTiming is the analysis of one constraint P.
 type ConsTiming struct {
 	// LpF[v] is the longest arrival delay from S_P to v within Gd(P);
-	// LpR[v] the longest departure delay from v to T_P. Vertices outside
-	// Gd(P) hold -Inf.
+	// LpR[v] the longest departure delay from v to T_P. Both are indexed
+	// by the constraint's compact subgraph ids (local, topo-ordered) —
+	// |Gd(P)| entries, not one per global vertex. Unreachable local
+	// vertices hold -Inf.
 	LpF, LpR []float64
 	Worst    float64 // critical path delay of Gd(P)
 	Margin   float64 // M(P) = limit - Worst
 }
 
 // NewTiming allocates a Timing with all cell-arc delays filled in and all
-// net-arc delays zero.
+// net-arc delays zero. Every constraint starts dirty, so the first Flush
+// (or Analyze) covers the full constraint set.
 func (g *Graph) NewTiming() *Timing {
-	t := &Timing{G: g, ArcDelay: make([]float64, len(g.Arcs)), Cons: make([]ConsTiming, len(g.Ckt.Cons))}
+	t := &Timing{
+		G:        g,
+		ArcDelay: make([]float64, len(g.Arcs)),
+		Cons:     make([]ConsTiming, len(g.Ckt.Cons)),
+		dirty:    make([]bool, len(g.Ckt.Cons)),
+	}
 	for a := range g.Arcs {
 		if g.Arcs[a].Net == NoNet {
 			t.ArcDelay[a] = g.Arcs[a].T0
 		}
 	}
 	for p := range t.Cons {
-		t.Cons[p].LpF = make([]float64, len(g.Verts))
-		t.Cons[p].LpR = make([]float64, len(g.Verts))
+		n := len(g.subs[p].verts)
+		t.Cons[p].LpF = make([]float64, n)
+		t.Cons[p].LpR = make([]float64, n)
 	}
+	t.MarkAll()
 	return t
 }
 
 // SetLumped sets every net arc's delay from the lumped model and the given
-// per-net estimated wire lengths (µm).
+// per-net estimated wire lengths (µm), marking every constraint dirty.
 func (t *Timing) SetLumped(wirelenUm []float64) {
 	for n, arcs := range t.G.netArcs {
 		d := t.G.LumpedArcDelay(n, wirelenUm[n])
@@ -293,22 +329,27 @@ func (t *Timing) SetLumped(wirelenUm []float64) {
 			t.ArcDelay[a] = d
 		}
 	}
+	t.MarkAll()
 }
 
-// SetNetLumped updates one net's arcs from the lumped model.
+// SetNetLumped updates one net's arcs from the lumped model and marks the
+// net's constraints dirty.
 func (t *Timing) SetNetLumped(net int, wirelenUm float64) {
 	d := t.G.LumpedArcDelay(net, wirelenUm)
 	for _, a := range t.G.netArcs[net] {
 		t.ArcDelay[a] = d
 	}
+	t.MarkNet(net)
 }
 
 // SetNetArcDelays sets per-sink delays for one net (Elmore/RC extension:
-// each fan-out sees its own delay). perSink is indexed like Fanouts(net).
+// each fan-out sees its own delay) and marks the net's constraints dirty.
+// perSink is indexed like Fanouts(net).
 func (t *Timing) SetNetArcDelays(net int, perSink []float64) {
 	for i, a := range t.G.netArcs[net] {
 		t.ArcDelay[a] = perSink[i]
 	}
+	t.MarkNet(net)
 }
 
 var negInf = math.Inf(-1)
@@ -322,83 +363,25 @@ func unreached(x float64) bool {
 }
 
 // Analyze recomputes every constraint's longest paths and margin from the
-// current arc delays.
+// current arc delays, regardless of the dirty set (which it consumes:
+// after Analyze nothing is pending).
 func (t *Timing) Analyze() {
-	for p := range t.Cons {
-		t.analyzeOne(p)
-	}
+	t.MarkAll()
+	t.Flush()
 }
 
 // AnalyzeCons recomputes only the given constraints. Exact when the arc
 // delays that changed belong solely to nets inside those constraints'
 // subgraphs — the other constraints' longest paths are untouched by
-// construction.
+// construction. It neither consults nor clears the dirty set.
+//
+// Deprecated: nothing enforced the exactness precondition here — callers
+// had to derive the affected-constraint list themselves and could get it
+// wrong silently. Use the delay setters (or MarkNet) plus Flush instead:
+// Flush computes the affected set from the graph's net→constraint index.
 func (t *Timing) AnalyzeCons(ps []int) {
 	for _, p := range ps {
 		t.analyzeOne(p)
-	}
-}
-
-func (t *Timing) analyzeOne(p int) {
-	g := t.G
-	{
-		ct := &t.Cons[p]
-		m := &g.cons[p]
-		for v := range ct.LpF {
-			ct.LpF[v] = negInf
-			ct.LpR[v] = negInf
-		}
-		inGd := func(v int) bool { return m.inS[v] && m.toT[v] }
-		for _, v := range m.srcs {
-			if inGd(v) {
-				ct.LpF[v] = 0
-			}
-		}
-		for _, v := range g.topo {
-			if unreached(ct.LpF[v]) {
-				continue
-			}
-			for _, a := range g.out[v] {
-				w := g.Arcs[a].To
-				if !inGd(w) {
-					continue
-				}
-				if d := ct.LpF[v] + t.ArcDelay[a]; d > ct.LpF[w] {
-					ct.LpF[w] = d
-				}
-			}
-		}
-		for _, v := range m.sinks {
-			if inGd(v) {
-				ct.LpR[v] = 0
-			}
-		}
-		for i := len(g.topo) - 1; i >= 0; i-- {
-			v := g.topo[i]
-			if !inGd(v) {
-				continue
-			}
-			for _, a := range g.out[v] {
-				w := g.Arcs[a].To
-				if unreached(ct.LpR[w]) {
-					continue
-				}
-				if d := ct.LpR[w] + t.ArcDelay[a]; d > ct.LpR[v] {
-					ct.LpR[v] = d
-				}
-			}
-		}
-		ct.Worst = negInf
-		for _, v := range m.sinks {
-			if ct.LpF[v] > ct.Worst {
-				ct.Worst = ct.LpF[v]
-			}
-		}
-		if unreached(ct.Worst) {
-			// No source reaches any sink: constraint is trivially met.
-			ct.Worst = 0
-		}
-		ct.Margin = g.Ckt.Cons[p].Limit - ct.Worst
 	}
 }
 
@@ -408,16 +391,15 @@ func (t *Timing) analyzeOne(p int) {
 // delay of the net.
 func (t *Timing) DeltaIfNetDelay(p, net int, dNew float64) float64 {
 	ct := &t.Cons[p]
+	sg := &t.G.subs[p]
 	var worst float64
-	for _, a := range t.G.netArcs[net] {
-		if !t.G.InGd(p, a) {
+	for _, la := range sg.netArcsLocal(int32(net)) {
+		a := &sg.arcs[la]
+		fv, fw := ct.LpF[a.from], ct.LpF[a.to]
+		if unreached(fv) || unreached(fw) {
 			continue
 		}
-		v, w := t.G.Arcs[a].From, t.G.Arcs[a].To
-		if unreached(ct.LpF[v]) || unreached(ct.LpF[w]) {
-			continue
-		}
-		if d := ct.LpF[v] + dNew - ct.LpF[w]; d > worst {
+		if d := fv + dNew - fw; d > worst {
 			worst = d
 		}
 	}
@@ -428,26 +410,32 @@ const eps = 1e-9
 
 // CriticalNets returns the nets with an arc on a critical (longest) path of
 // constraint p, in order of first appearance along the topological order.
+// Deduplication uses the Timing's nets-aligned mark slice, so calls do not
+// allocate a map (and the output order is index-driven, not map-driven).
 func (t *Timing) CriticalNets(p int) []int {
 	ct := &t.Cons[p]
-	seen := map[int]bool{}
+	sg := &t.G.subs[p]
+	if t.netSeen == nil {
+		t.netSeen = make([]int, len(t.G.Ckt.Nets))
+	}
+	t.netGen++
+	gen := t.netGen
 	var nets []int
-	for _, v := range t.G.topo {
+	for v := 0; v < len(sg.verts); v++ {
 		if unreached(ct.LpF[v]) || unreached(ct.LpR[v]) {
 			continue
 		}
-		for _, a := range t.G.out[v] {
-			arc := &t.G.Arcs[a]
-			if arc.Net == NoNet || seen[arc.Net] {
+		for ai := sg.outStart[v]; ai < sg.outStart[v+1]; ai++ {
+			a := &sg.arcs[ai]
+			if a.net == NoNet || t.netSeen[a.net] == gen {
 				continue
 			}
-			w := arc.To
-			if unreached(ct.LpR[w]) {
+			if unreached(ct.LpR[a.to]) {
 				continue
 			}
-			if math.Abs(ct.LpF[v]+t.ArcDelay[a]+ct.LpR[w]-ct.Worst) <= eps*(1+math.Abs(ct.Worst)) {
-				seen[arc.Net] = true
-				nets = append(nets, arc.Net)
+			if math.Abs(ct.LpF[v]+t.ArcDelay[a.global]+ct.LpR[a.to]-ct.Worst) <= eps*(1+math.Abs(ct.Worst)) {
+				t.netSeen[a.net] = gen
+				nets = append(nets, int(a.net))
 			}
 		}
 	}
@@ -459,12 +447,12 @@ func (t *Timing) CriticalNets(p int) []int {
 // no path.
 func (t *Timing) CriticalPath(p int) []int {
 	ct := &t.Cons[p]
-	m := &t.G.cons[p]
+	sg := &t.G.subs[p]
 	// Find the worst sink.
-	end := -1
-	for _, v := range m.sinks {
-		if !unreached(ct.LpF[v]) && ct.LpF[v] == ct.Worst { //bgr:allow floateq -- Worst is a verbatim copy of one sink's LpF; equality is exact
-			end = v
+	end := int32(-1)
+	for _, s := range sg.sinks {
+		if !unreached(ct.LpF[s]) && ct.LpF[s] == ct.Worst { //bgr:allow floateq -- Worst is a verbatim copy of one sink's LpF; equality is exact
+			end = s
 			break
 		}
 	}
@@ -474,23 +462,23 @@ func (t *Timing) CriticalPath(p int) []int {
 	var rev []int
 	v := end
 	for ct.LpF[v] > 0 {
-		found := -1
-		for _, a := range t.G.in[v] {
-			u := t.G.Arcs[a].From
-			if unreached(ct.LpF[u]) {
+		found := int32(-1)
+		for _, la := range sg.inArcs[sg.inStart[v]:sg.inStart[v+1]] {
+			a := &sg.arcs[la]
+			if unreached(ct.LpF[a.from]) {
 				continue
 			}
-			d := ct.LpF[u] + t.ArcDelay[a]
+			d := ct.LpF[a.from] + t.ArcDelay[a.global]
 			if math.Abs(d-ct.LpF[v]) <= eps*(1+math.Abs(ct.LpF[v])) {
-				found = a
+				found = la
 				break
 			}
 		}
 		if found == -1 {
 			break
 		}
-		rev = append(rev, found)
-		v = t.G.Arcs[found].From
+		rev = append(rev, int(sg.arcs[found].global))
+		v = sg.arcs[found].from
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
@@ -523,15 +511,13 @@ func (g *Graph) NetSlacks() []float64 {
 		slacks[n] = math.Inf(1)
 		for _, p := range g.consOfNet[n] {
 			ct := &t.Cons[p]
-			for _, a := range g.netArcs[n] {
-				if !g.InGd(p, a) {
+			sg := &g.subs[p]
+			for _, la := range sg.netArcsLocal(int32(n)) {
+				a := &sg.arcs[la]
+				if unreached(ct.LpF[a.from]) || unreached(ct.LpR[a.to]) {
 					continue
 				}
-				v, w := g.Arcs[a].From, g.Arcs[a].To
-				if unreached(ct.LpF[v]) || unreached(ct.LpR[w]) {
-					continue
-				}
-				s := g.Ckt.Cons[p].Limit - (ct.LpF[v] + t.ArcDelay[a] + ct.LpR[w])
+				s := g.Ckt.Cons[p].Limit - (ct.LpF[a.from] + t.ArcDelay[a.global] + ct.LpR[a.to])
 				if s < slacks[n] {
 					slacks[n] = s
 				}

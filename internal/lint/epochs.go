@@ -19,32 +19,45 @@ import (
 // an initializer (prefix "init", "new", "setup" or "reset", where the
 // counters are first laid out). Anything else needs a //bgr:allow epochs
 // directive explaining why the raw write is safe.
+//
+// The analyzer also guards the PR-4 dirty-set contract: the incremental
+// timing engine's bookkeeping (Timing.dirty, Timing.dirtyCount) is owned
+// by MarkNet/MarkAll/Flush, and a write anywhere else desynchronizes the
+// dirty flags from dirtyCount or skips re-analysis entirely. Dirty-set
+// fields (name "dirty", "dirtyCount" or suffix "Dirty", on a receiver
+// struct named "Timing") may only be written inside a mark/flush method
+// or an initializer; the rule is receiver-scoped so lazily cleared dirty
+// flags in other packages (density.State) stay untouched.
 var analyzerEpochs = &Analyzer{
 	Name:              "epochs",
-	Doc:               "flags epoch/version cache-field writes outside bump methods",
+	Doc:               "flags epoch/version and timing dirty-set writes outside their owning methods",
 	DeterministicOnly: true,
 	Run: func(pkg *Package) []Diagnostic {
 		var out []Diagnostic
+		check := func(fd *ast.FuncDecl, lhs ast.Expr) {
+			if name, ok := epochFieldWrite(pkg, lhs); ok && !epochBumpSite(fd.Name.Name) {
+				out = append(out, pkg.diag(lhs.Pos(), "epochs",
+					"write to epoch field %q outside a bump/invalidate method (%s): route it through the owning bump method so paired invalidation stays intact", name, fd.Name.Name))
+			}
+			if name, ok := dirtySetWrite(pkg, lhs); ok && !dirtyBumpSite(fd.Name.Name) {
+				out = append(out, pkg.diag(lhs.Pos(), "epochs",
+					"write to dirty-set field %q outside a mark/flush method (%s): route it through MarkNet/MarkAll/Flush so the dirty flags and dirtyCount stay paired", name, fd.Name.Name))
+			}
+		}
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || epochBumpSite(fd.Name.Name) {
+				if !ok || fd.Body == nil {
 					continue
 				}
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					switch st := n.(type) {
 					case *ast.AssignStmt:
 						for _, lhs := range st.Lhs {
-							if name, ok := epochFieldWrite(pkg, lhs); ok {
-								out = append(out, pkg.diag(lhs.Pos(), "epochs",
-									"write to epoch field %q outside a bump/invalidate method (%s): route it through the owning bump method so paired invalidation stays intact", name, fd.Name.Name))
-							}
+							check(fd, lhs)
 						}
 					case *ast.IncDecStmt:
-						if name, ok := epochFieldWrite(pkg, st.X); ok {
-							out = append(out, pkg.diag(st.X.Pos(), "epochs",
-								"write to epoch field %q outside a bump/invalidate method (%s): route it through the owning bump method so paired invalidation stays intact", name, fd.Name.Name))
-						}
+						check(fd, st.X)
 					}
 					return true
 				})
@@ -69,27 +82,75 @@ func epochBumpSite(name string) bool {
 	return false
 }
 
+// dirtyBumpSite reports whether a function name marks a sanctioned
+// dirty-set mutation site. Kept separate from epochBumpSite: adding
+// "mark" there would sanction any function whose name merely contains it
+// (e.g. "benchmark") for epoch writes too.
+func dirtyBumpSite(name string) bool {
+	l := strings.ToLower(name)
+	if strings.Contains(l, "mark") || strings.Contains(l, "flush") {
+		return true
+	}
+	for _, p := range []string{"init", "new", "setup", "reset"} {
+		if strings.HasPrefix(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // epochFieldWrite reports whether the assignment target is (an element
 // of) a struct field with an epoch-like name, returning the field name.
 func epochFieldWrite(pkg *Package, lhs ast.Expr) (string, bool) {
-	for {
-		ix, ok := lhs.(*ast.IndexExpr)
-		if !ok {
-			break
-		}
-		lhs = ix.X
-	}
-	sel, ok := lhs.(*ast.SelectorExpr)
+	name, _, ok := fieldWrite(pkg, lhs)
 	if !ok {
 		return "", false
 	}
-	s, ok := pkg.Info.Selections[sel]
-	if !ok || s.Kind() != types.FieldVal {
-		return "", false
-	}
-	name := sel.Sel.Name
 	if strings.HasSuffix(name, "Epoch") || name == "epoch" || name == "version" {
 		return name, true
 	}
 	return "", false
+}
+
+// dirtySetWrite reports whether the assignment target is (an element of)
+// a dirty-set bookkeeping field of the timing engine: name "dirty",
+// "dirtyCount" or suffix "Dirty", on a receiver struct named "Timing".
+func dirtySetWrite(pkg *Package, lhs ast.Expr) (string, bool) {
+	name, recv, ok := fieldWrite(pkg, lhs)
+	if !ok || recv != "Timing" {
+		return "", false
+	}
+	if name == "dirty" || name == "dirtyCount" || strings.HasSuffix(name, "Dirty") {
+		return name, true
+	}
+	return "", false
+}
+
+// fieldWrite resolves an assignment target to a struct field selection,
+// returning the field name and the named type it was selected from ("" if
+// the base type is unnamed).
+func fieldWrite(pkg *Package, lhs ast.Expr) (field, recv string, ok bool) {
+	for {
+		ix, isIx := lhs.(*ast.IndexExpr)
+		if !isIx {
+			break
+		}
+		lhs = ix.X
+	}
+	sel, isSel := lhs.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, found := pkg.Info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	rt := s.Recv()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	if named, isNamed := rt.(*types.Named); isNamed {
+		recv = named.Obj().Name()
+	}
+	return sel.Sel.Name, recv, true
 }

@@ -79,7 +79,7 @@ func collectWants(t *testing.T, dir string) []*want {
 // `// want` expectations: every diagnostic must be expected, every
 // expectation must fire, and the clean declarations must stay silent.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"maporder", "floateq", "clockuse", "epochs", "locks"} {
+	for _, name := range []string{"maporder", "floateq", "clockuse", "epochs", "dirtyset", "locks"} {
 		t.Run(name, func(t *testing.T) {
 			diags := Run(loadFixture(t, name), Analyzers())
 			wants := collectWants(t, filepath.Join("testdata", "src", name))

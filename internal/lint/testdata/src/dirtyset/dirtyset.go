@@ -1,0 +1,47 @@
+// Fixture for the epochs analyzer's dirty-set rule: the package is named
+// "dgraph" so the deterministic-only analyzers treat it as part of the
+// timing core, and the receiver is named "Timing" so the rule engages.
+package dgraph
+
+type Timing struct {
+	dirty      []bool
+	dirtyCount int
+	margins    []float64
+}
+
+// NewTiming is an initializer; laying out the dirty set is sanctioned.
+func NewTiming(n int) *Timing { return &Timing{dirty: make([]bool, n)} }
+
+// MarkNet is an owning mark method; the writes here are sanctioned.
+func (t *Timing) MarkNet(p int) {
+	if !t.dirty[p] {
+		t.dirty[p] = true
+		t.dirtyCount++
+	}
+}
+
+// Flush is the owning flush method; clearing the flags is sanctioned.
+func (t *Timing) Flush() {
+	for p := range t.dirty {
+		t.dirty[p] = false
+	}
+	t.dirtyCount = 0
+}
+
+func (t *Timing) analyzeShortcut(p int) {
+	t.dirty[p] = false // want "write to dirty-set field .dirty. outside a mark/flush method \(analyzeShortcut\)"
+	t.margins[p] = 0
+}
+
+func (t *Timing) skipAnalysis() {
+	t.dirtyCount = 0 // want "write to dirty-set field .dirtyCount. outside a mark/flush method \(skipAnalysis\)"
+}
+
+// Pending only inspects the bookkeeping: clean.
+func (t *Timing) Pending() int { return t.dirtyCount }
+
+// other has a dirty field on a non-Timing receiver: the rule is
+// receiver-scoped, so the lazy clear below stays clean.
+type other struct{ dirty []bool }
+
+func (o *other) lazyClear(i int) { o.dirty[i] = false }

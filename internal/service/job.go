@@ -55,17 +55,22 @@ type Payload struct {
 // PhaseInfo is the per-phase trace exposed over the API. The select_*
 // fields profile the candidate-selection engine: time spent in selectEdge,
 // how often it ran, and how many per-net scores were recomputed vs served
-// from the incremental cache.
+// from the incremental cache. The timing_* fields profile the incremental
+// timing engine: time inside Timing.Flush, how often it ran, and how many
+// constraints the dirty sets actually re-analyzed.
 type PhaseInfo struct {
-	Name        string  `json:"name"`
-	DurationMs  float64 `json:"duration_ms"`
-	Deletions   int     `json:"deletions"`
-	Reroutes    int     `json:"reroutes"`
-	Accepted    int     `json:"accepted"`
-	SelectMs    float64 `json:"select_ms,omitempty"`
-	SelectCalls int     `json:"select_calls,omitempty"`
-	ScoredNets  int     `json:"scored_nets,omitempty"`
-	ReusedNets  int     `json:"reused_nets,omitempty"`
+	Name          string  `json:"name"`
+	DurationMs    float64 `json:"duration_ms"`
+	Deletions     int     `json:"deletions"`
+	Reroutes      int     `json:"reroutes"`
+	Accepted      int     `json:"accepted"`
+	SelectMs      float64 `json:"select_ms,omitempty"`
+	SelectCalls   int     `json:"select_calls,omitempty"`
+	ScoredNets    int     `json:"scored_nets,omitempty"`
+	ReusedNets    int     `json:"reused_nets,omitempty"`
+	TimingMs      float64 `json:"timing_ms,omitempty"`
+	TimingFlushes int     `json:"timing_flushes,omitempty"`
+	TimingCons    int     `json:"timing_cons,omitempty"`
 }
 
 // ProgressInfo is the latest mid-flight snapshot of a running job.
@@ -217,15 +222,18 @@ func phaseInfos(stats []core.PhaseStat) []PhaseInfo {
 	out := make([]PhaseInfo, len(stats))
 	for i, ps := range stats {
 		out[i] = PhaseInfo{
-			Name:        ps.Name,
-			DurationMs:  float64(ps.Duration) / float64(time.Millisecond),
-			Deletions:   ps.Deletions,
-			Reroutes:    ps.Reroutes,
-			Accepted:    ps.Accepted,
-			SelectMs:    float64(ps.SelectDuration) / float64(time.Millisecond),
-			SelectCalls: ps.SelectCalls,
-			ScoredNets:  ps.ScoredNets,
-			ReusedNets:  ps.ReusedNets,
+			Name:          ps.Name,
+			DurationMs:    float64(ps.Duration) / float64(time.Millisecond),
+			Deletions:     ps.Deletions,
+			Reroutes:      ps.Reroutes,
+			Accepted:      ps.Accepted,
+			SelectMs:      float64(ps.SelectDuration) / float64(time.Millisecond),
+			SelectCalls:   ps.SelectCalls,
+			ScoredNets:    ps.ScoredNets,
+			ReusedNets:    ps.ReusedNets,
+			TimingMs:      float64(ps.TimingDuration) / float64(time.Millisecond),
+			TimingFlushes: ps.TimingFlushes,
+			TimingCons:    ps.TimingCons,
 		}
 	}
 	return out

@@ -73,6 +73,7 @@ type metrics struct {
 	mu      sync.Mutex
 	phases  map[string]*histogram // per-phase routing latency
 	selects map[string]*histogram // per-phase time inside selectEdge
+	timings map[string]*histogram // per-phase time inside Timing.Flush
 	jobs    histogram             // end-to-end job latency
 }
 
@@ -80,6 +81,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		phases:  make(map[string]*histogram),
 		selects: make(map[string]*histogram),
+		timings: make(map[string]*histogram),
 	}
 }
 
@@ -104,6 +106,14 @@ func (m *metrics) observeJob(total time.Duration, phases []PhaseInfo) {
 			m.netsScored.Add(int64(p.ScoredNets))
 			m.netsReused.Add(int64(p.ReusedNets))
 		}
+		if p.TimingFlushes > 0 {
+			th := m.timings[p.Name]
+			if th == nil {
+				th = &histogram{}
+				m.timings[p.Name] = th
+			}
+			th.observe(time.Duration(p.TimingMs * float64(time.Millisecond)))
+		}
 	}
 }
 
@@ -124,6 +134,7 @@ type MetricsSnapshot struct {
 	JobLatency    histogramJSON            `json:"job_latency_ms"`
 	PhaseLatency  map[string]histogramJSON `json:"phase_latency_ms"`
 	SelectLatency map[string]histogramJSON `json:"select_latency_ms"`
+	TimingLatency map[string]histogramJSON `json:"timing_latency_ms"`
 }
 
 func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) MetricsSnapshot {
@@ -145,12 +156,16 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) MetricsSnapsho
 		JobLatency:    m.jobs.export(),
 		PhaseLatency:  make(map[string]histogramJSON, len(m.phases)),
 		SelectLatency: make(map[string]histogramJSON, len(m.selects)),
+		TimingLatency: make(map[string]histogramJSON, len(m.timings)),
 	}
 	for _, name := range sortedKeys(m.phases) {
 		out.PhaseLatency[name] = m.phases[name].export()
 	}
 	for _, name := range sortedKeys(m.selects) {
 		out.SelectLatency[name] = m.selects[name].export()
+	}
+	for _, name := range sortedKeys(m.timings) {
+		out.TimingLatency[name] = m.timings[name].export()
 	}
 	return out
 }
