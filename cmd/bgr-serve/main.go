@@ -31,16 +31,28 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 5*time.Minute, "per-job routing deadline")
 		drain       = flag.Duration("drain", time.Minute, "shutdown grace period for queued jobs")
 		scoreWork   = flag.Int("score-workers", 0, "default per-job candidate-scoring workers (0 = one per CPU)")
+		jobTTL      = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay addressable (negative keeps forever)")
+		maxJobs     = flag.Int("max-jobs", 1024, "max retained terminal jobs, oldest evicted first (negative unlimited)")
+		maxBody     = flag.Int64("max-body", 8<<20, "POST /jobs body cap, bytes (413 on overflow; negative unlimited)")
+		maxCircuit  = flag.Int("max-circuit", 4<<20, "circuit text cap, bytes (negative unlimited)")
+		maxNets     = flag.Int("max-nets", 50000, "per-circuit net cap (negative unlimited)")
+		maxCells    = flag.Int("max-cells", 200000, "per-circuit cell cap (negative unlimited)")
 		enablePprof = flag.Bool("pprof", true, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Options{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		JobTimeout:   *jobTimeout,
-		ScoreWorkers: *scoreWork,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		JobTimeout:      *jobTimeout,
+		ScoreWorkers:    *scoreWork,
+		TerminalTTL:     *jobTTL,
+		MaxTerminalJobs: *maxJobs,
+		MaxBodyBytes:    *maxBody,
+		MaxCircuitBytes: *maxCircuit,
+		MaxNets:         *maxNets,
+		MaxCells:        *maxCells,
 	})
 	handler := svc.Handler()
 	if *enablePprof {
@@ -56,7 +68,16 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	// No WriteTimeout: SSE streams (/jobs/{id}/events) legitimately stay
+	// open for the whole job; slow writers are bounded by IdleTimeout
+	// and the per-job deadline instead.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/density"
 	"repro/internal/dgraph"
+	"repro/internal/faultinject"
 	"repro/internal/feed"
 	"repro/internal/grid"
 	"repro/internal/rgraph"
@@ -254,6 +255,11 @@ func RouteCtx(ctx context.Context, ckt *circuit.Circuit, cfg Config) (*Result, e
 func (r *router) runPhase(name string, f func(*PhaseStat) error) error {
 	if err := r.check(); err != nil {
 		return err
+	}
+	// Fault-injection point: a nil-hook no-op in production, lets tests
+	// inject an error, delay or panic at every phase boundary.
+	if err := faultinject.Fire(faultinject.CorePhase, name); err != nil {
+		return fmt.Errorf("core: phase %s: %w", name, err)
 	}
 	ps := PhaseStat{Name: name}
 	r.emit(Progress{Phase: name, Violations: r.liveViolations()})

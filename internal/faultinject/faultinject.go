@@ -1,0 +1,60 @@
+// Package faultinject provides named fault-injection points for tests.
+//
+// Production code calls Fire at interesting boundaries (phase starts,
+// payload rendering); with no hook installed that is a single atomic
+// load and a nil check, so the points are free to leave in. Tests
+// install a Hook that can return an error (injected failure), sleep
+// (injected delay), or panic (injected crash) based on the point name
+// and detail string, and the service-layer stress tests use exactly
+// that to prove the server contains crashes, stays live, and keeps
+// healthy results deterministic.
+//
+// The hook is process-global, so tests that install one must not run in
+// parallel with each other and should remove it with Clear (typically
+// via t.Cleanup).
+package faultinject
+
+import "sync/atomic"
+
+// Point names fired by the repository. The detail string carried with
+// each point lets a hook target one job or phase (for example, panic
+// only for circuits whose name marks them as poison).
+const (
+	// CorePhase fires at the start of every routing phase inside
+	// core.RouteCtx; detail is the phase name ("initial",
+	// "recover-violations", "improve-delay", "improve-area", "eco-*").
+	CorePhase = "core.phase"
+	// ServiceRun fires when a service worker starts a claimed job,
+	// before routing; detail is the circuit name.
+	ServiceRun = "service.run"
+	// ServicePayload fires between a successful routing run and payload
+	// rendering; detail is the circuit name.
+	ServicePayload = "service.payload"
+)
+
+// Hook decides what to inject at a fired point: return nil to do
+// nothing, return an error to inject a failure, sleep to inject a
+// delay, or panic to inject a crash.
+type Hook func(point, detail string) error
+
+var hook atomic.Pointer[Hook]
+
+// Set installs h as the process-wide hook, replacing any previous one.
+func Set(h Hook) { hook.Store(&h) }
+
+// Clear removes the hook; Fire becomes a no-op again.
+func Clear() { hook.Store(nil) }
+
+// Enabled reports whether a hook is currently installed.
+func Enabled() bool { return hook.Load() != nil }
+
+// Fire invokes the installed hook for a named point, propagating its
+// error (and letting its panic, if any, unwind through the caller).
+// With no hook installed it returns nil immediately.
+func Fire(point, detail string) error {
+	h := hook.Load()
+	if h == nil {
+		return nil
+	}
+	return (*h)(point, detail)
+}

@@ -1,0 +1,59 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFireWithoutHook(t *testing.T) {
+	Clear()
+	if Enabled() {
+		t.Fatal("Enabled() with no hook installed")
+	}
+	if err := Fire(CorePhase, "initial"); err != nil {
+		t.Fatalf("Fire with no hook: %v", err)
+	}
+}
+
+func TestHookErrorAndTargeting(t *testing.T) {
+	injected := errors.New("injected")
+	Set(func(point, detail string) error {
+		if point == ServiceRun && detail == "poison" {
+			return injected
+		}
+		return nil
+	})
+	t.Cleanup(Clear)
+	if !Enabled() {
+		t.Fatal("Enabled() false after Set")
+	}
+	if err := Fire(ServiceRun, "healthy"); err != nil {
+		t.Fatalf("untargeted detail injected: %v", err)
+	}
+	if err := Fire(ServicePayload, "poison"); err != nil {
+		t.Fatalf("untargeted point injected: %v", err)
+	}
+	if err := Fire(ServiceRun, "poison"); !errors.Is(err, injected) {
+		t.Fatalf("targeted fire = %v, want injected error", err)
+	}
+}
+
+func TestHookPanicPropagates(t *testing.T) {
+	Set(func(point, detail string) error { panic("boom") })
+	t.Cleanup(Clear)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Fire(CorePhase, "initial")
+	t.Fatal("hook panic did not propagate")
+}
+
+func TestClearRestoresNoop(t *testing.T) {
+	Set(func(point, detail string) error { return errors.New("always") })
+	Clear()
+	if err := Fire(CorePhase, "x"); err != nil {
+		t.Fatalf("Fire after Clear: %v", err)
+	}
+}

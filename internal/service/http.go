@@ -26,18 +26,18 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+		s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
 	})
 	mux.HandleFunc("GET /jobs/{id}", s.withJob(func(w http.ResponseWriter, r *http.Request, j *Job) {
-		writeJSON(w, http.StatusOK, j.Snapshot())
+		s.writeJSON(w, http.StatusOK, j.Snapshot())
 	}))
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := s.Cancel(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown job")
+			s.writeError(w, http.StatusNotFound, "unknown job")
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
+		s.writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /jobs/{id}/events", s.withJob(s.handleEvents))
 	mux.HandleFunc("GET /jobs/{id}/routedb", s.resultEndpoint("application/json", func(p *Payload) []byte { return p.RouteDB }))
@@ -45,7 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/svg", s.resultEndpoint("image/svg+xml", func(p *Payload) []byte { return []byte(p.SVG) }))
 	mux.HandleFunc("GET /jobs/{id}/layout", s.resultEndpoint("text/plain; charset=utf-8", func(p *Payload) []byte { return []byte(p.Layout) }))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Metrics())
+		s.writeJSON(w, http.StatusOK, s.Metrics())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -63,30 +63,43 @@ type submitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.opts.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
 	var req SubmitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.rejected.Add(1)
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds cap %d bytes", mbe.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if req.Circuit == "" {
-		writeError(w, http.StatusBadRequest, "missing circuit")
+		s.writeError(w, http.StatusBadRequest, "missing circuit")
 		return
 	}
 	res, err := s.Submit(req)
 	switch {
+	case errors.Is(err, ErrTooLarge):
+		s.writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		s.writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusAccepted, submitResponse{
+	s.writeJSON(w, http.StatusAccepted, submitResponse{
 		ID:     res.Job.ID,
 		State:  res.Job.State(),
 		Cached: res.Cached,
@@ -95,11 +108,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams status snapshots as server-sent events: one event
-// per observable change, a final event at the terminal state, then EOF.
+// per observable change, a `: keepalive` comment on an idle stream (so
+// proxies don't reap long-running jobs' connections), a final event at
+// the terminal state, then EOF.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		s.writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -108,6 +123,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
+	heartbeat := time.NewTicker(s.opts.sseHeartbeat)
+	defer heartbeat.Stop()
 	var last []byte
 	send := func() bool {
 		snap := j.Snapshot()
@@ -132,6 +149,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 		case <-j.Done():
 			send()
 			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
 		case <-ticker.C:
 			if !send() {
 				return
@@ -145,7 +165,7 @@ func (s *Server) withJob(f func(http.ResponseWriter, *http.Request, *Job)) http.
 	return func(w http.ResponseWriter, r *http.Request) {
 		j, ok := s.Job(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown job")
+			s.writeError(w, http.StatusNotFound, "unknown job")
 			return
 		}
 		f(w, r, j)
@@ -160,24 +180,34 @@ func (s *Server) resultEndpoint(contentType string, pick func(*Payload) []byte) 
 		p := j.Payload()
 		if p == nil {
 			snap := j.Snapshot()
-			writeJSON(w, http.StatusConflict, map[string]any{
+			s.writeJSON(w, http.StatusConflict, map[string]any{
 				"error": "job not done", "state": snap.State, "job_error": snap.Error,
 			})
 			return
 		}
 		w.Header().Set("Content-Type", contentType)
-		w.Write(pick(p))
+		if _, err := w.Write(pick(p)); err != nil {
+			// Headers and part of the body are gone; log once, never
+			// attempt a second status write.
+			s.opts.Logf("service: %s %s: write response: %v", r.Method, r.URL.Path, err)
+		}
 	})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes one JSON response. An encode failure after the
+// header has been sent cannot be reported to the client, so it is
+// logged once and the connection is left to the transport; the handler
+// must never write a second status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.opts.Logf("service: write response (status %d): %v", status, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
 }

@@ -92,6 +92,9 @@ type Status struct {
 	Progress *ProgressInfo `json:"progress,omitempty"`
 	Phases   []PhaseInfo   `json:"phases,omitempty"`
 	Summary  *Summary      `json:"summary,omitempty"`
+	// PanicStack is the captured goroutine stack when the job failed
+	// because its routing run panicked (the worker recovered it).
+	PanicStack string `json:"panic_stack,omitempty"`
 }
 
 // Job is one routing request moving through the queue. All mutable state
@@ -109,12 +112,17 @@ type Job struct {
 	mu       sync.Mutex
 	state    State
 	errMsg   string
+	stack    string // captured stack when a panicking run failed the job
 	cached   bool
 	progress *ProgressInfo
 	phases   []PhaseInfo
 	payload  *Payload
 	cancel   context.CancelFunc
 	done     chan struct{}
+
+	// gcNoted marks the job as registered with the retention policy; it
+	// is guarded by the Server's mutex, not the job's.
+	gcNoted bool
 }
 
 // Snapshot returns a consistent copy of the job's visible state.
@@ -122,11 +130,12 @@ func (j *Job) Snapshot() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:      j.ID,
-		State:   j.state,
-		Cached:  j.cached,
-		Error:   j.errMsg,
-		Circuit: j.ckt.Name,
+		ID:         j.ID,
+		State:      j.state,
+		Cached:     j.cached,
+		Error:      j.errMsg,
+		Circuit:    j.ckt.Name,
+		PanicStack: j.stack,
 	}
 	if j.progress != nil {
 		p := *j.progress
@@ -180,8 +189,9 @@ func (j *Job) begin(cancel context.CancelFunc) bool {
 }
 
 // finish moves the job to a terminal state. It is a no-op if the job is
-// already terminal (e.g. cancelled racing completion).
-func (j *Job) finish(st State, errMsg string, p *Payload, phases []PhaseInfo) bool {
+// already terminal (e.g. cancelled racing completion). stack carries
+// the captured goroutine stack when a panic failed the job.
+func (j *Job) finish(st State, errMsg, stack string, p *Payload, phases []PhaseInfo) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
@@ -189,6 +199,7 @@ func (j *Job) finish(st State, errMsg string, p *Payload, phases []PhaseInfo) bo
 	}
 	j.state = st
 	j.errMsg = errMsg
+	j.stack = stack
 	j.payload = p
 	j.phases = phases
 	j.cancel = nil

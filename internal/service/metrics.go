@@ -66,6 +66,9 @@ type metrics struct {
 	deduped   atomic.Int64 // submissions coalesced onto an in-flight job
 	cacheHits atomic.Int64
 	cacheMiss atomic.Int64
+	panics    atomic.Int64 // routing panics recovered by the worker boundary
+	evicted   atomic.Int64 // terminal jobs evicted by the retention policy
+	rejected  atomic.Int64 // submissions refused by a size cap (HTTP 413)
 
 	netsScored atomic.Int64 // per-net candidate scores recomputed
 	netsReused atomic.Int64 // per-net scores served from the selection cache
@@ -129,6 +132,10 @@ type MetricsSnapshot struct {
 	CacheEntries  int                      `json:"cache_entries"`
 	QueueDepth    int                      `json:"queue_depth"`
 	Workers       int                      `json:"workers"`
+	PanicsRecov   int64                    `json:"panics_recovered"`
+	JobsRetained  int                      `json:"jobs_retained"`
+	JobsEvicted   int64                    `json:"jobs_evicted"`
+	RejectedSize  int64                    `json:"rejected_too_large"`
 	NetsScored    int64                    `json:"nets_scored"`
 	NetsReused    int64                    `json:"nets_reused"`
 	JobLatency    histogramJSON            `json:"job_latency_ms"`
@@ -137,7 +144,7 @@ type MetricsSnapshot struct {
 	TimingLatency map[string]histogramJSON `json:"timing_latency_ms"`
 }
 
-func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) MetricsSnapshot {
+func (m *metrics) snapshot(queueDepth, workers, cacheEntries, retained int) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := MetricsSnapshot{
@@ -151,6 +158,10 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) MetricsSnapsho
 		CacheEntries:  cacheEntries,
 		QueueDepth:    queueDepth,
 		Workers:       workers,
+		PanicsRecov:   m.panics.Load(),
+		JobsRetained:  retained,
+		JobsEvicted:   m.evicted.Load(),
+		RejectedSize:  m.rejected.Load(),
 		NetsScored:    m.netsScored.Load(),
 		NetsReused:    m.netsReused.Load(),
 		JobLatency:    m.jobs.export(),

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitEvicted polls until the job ID is no longer addressable.
+func waitEvicted(t *testing.T, svc *Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := svc.Job(id); !ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s was never evicted", id)
+}
+
+// TestRetentionTTL: terminal jobs age out of the job table after the
+// TTL, GET /jobs shrinks accordingly, and the LRU result cache is
+// untouched (a resubmission is still a cache hit).
+func TestRetentionTTL(t *testing.T) {
+	cktText := readExample(t)
+	svc := New(Options{Workers: 1, TerminalTTL: 40 * time.Millisecond, MaxTerminalJobs: -1})
+	defer svc.Shutdown(context.Background())
+
+	res, err := svc.Submit(SubmitRequest{Circuit: cktText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := svc.Wait(context.Background(), res.Job.ID); err != nil || st.State != Done {
+		t.Fatalf("wait: err=%v state=%s", err, st.State)
+	}
+	waitEvicted(t, svc, res.Job.ID)
+
+	if got := svc.Jobs(); len(got) != 0 {
+		t.Fatalf("GET /jobs still lists %d jobs after eviction", len(got))
+	}
+	m := svc.Metrics()
+	if m.JobsEvicted == 0 || m.JobsRetained != 0 {
+		t.Fatalf("jobs_evicted=%d jobs_retained=%d, want >0 and 0", m.JobsEvicted, m.JobsRetained)
+	}
+
+	// The result cache outlives retention: the same circuit is served
+	// from the cache even though its original job is gone.
+	res2, err := svc.Submit(SubmitRequest{Circuit: cktText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Fatalf("post-eviction resubmission was not a cache hit")
+	}
+}
+
+// TestRetentionMaxJobs: with the TTL disabled, the size cap alone
+// bounds retained terminal jobs, evicting oldest-finished first.
+func TestRetentionMaxJobs(t *testing.T) {
+	base := readExample(t)
+	variant := func(i int) string {
+		return strings.Replace(base, "circuit invchain", fmt.Sprintf("circuit keep%d", i), 1)
+	}
+	svc := New(Options{Workers: 1, TerminalTTL: -1, MaxTerminalJobs: 2})
+	defer svc.Shutdown(context.Background())
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		res, err := svc.Submit(SubmitRequest{Circuit: variant(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := svc.Wait(context.Background(), res.Job.ID); err != nil || st.State != Done {
+			t.Fatalf("job %d: err=%v state=%s (%s)", i, err, st.State, st.Error)
+		}
+		ids = append(ids, res.Job.ID)
+	}
+	jobs := svc.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("retained %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].ID != ids[3] || jobs[1].ID != ids[4] {
+		t.Fatalf("retained %s/%s, want the two newest %s/%s", jobs[0].ID, jobs[1].ID, ids[3], ids[4])
+	}
+	for _, id := range ids[:3] {
+		if _, ok := svc.Job(id); ok {
+			t.Fatalf("old job %s still addressable", id)
+		}
+	}
+	if m := svc.Metrics(); m.JobsEvicted != 3 || m.JobsRetained != 2 {
+		t.Fatalf("jobs_evicted=%d jobs_retained=%d, want 3/2", m.JobsEvicted, m.JobsRetained)
+	}
+}
+
+// TestRetentionKeepsAttachedStream: an SSE stream attached before the
+// job's eviction still delivers the terminal event — eviction removes
+// the ID-table entry, not the job object the stream holds.
+func TestRetentionKeepsAttachedStream(t *testing.T) {
+	cktText := readExample(t)
+	gate := make(chan struct{})
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(gate)
+		}
+	}
+	svc := New(Options{Workers: 1, TerminalTTL: 20 * time.Millisecond,
+		beforeRun: func(*Job) { <-gate }})
+	defer svc.Shutdown(context.Background())
+	defer release()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	sub := postJob(t, ts.URL, SubmitRequest{Circuit: cktText})
+	resp, err := http.Get(ts.URL + "/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	release()
+	var last Status
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &last); err != nil {
+			t.Fatalf("bad event payload: %v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last.State != Done {
+		t.Fatalf("final streamed state = %s, want done", last.State)
+	}
+	waitEvicted(t, svc, sub.ID)
+}

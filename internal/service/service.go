@@ -20,6 +20,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dgraph"
 	"repro/internal/experiment"
+	"repro/internal/faultinject"
 	"repro/internal/render"
 	"repro/internal/report"
 	"repro/internal/routedb"
@@ -40,7 +44,20 @@ var (
 	ErrQueueFull = errors.New("service: queue full")
 	// ErrShuttingDown: the server no longer accepts jobs (HTTP 503).
 	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrTooLarge: the submission exceeds a configured size cap — circuit
+	// bytes, nets or cells (HTTP 413). Checked before any routing work.
+	ErrTooLarge = errors.New("service: submission too large")
 )
+
+// PanicError records a routing run that panicked: the worker recovered
+// it, failed the job with the panic message, and kept the server alive.
+// Stack is the goroutine stack captured at the recovery point.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+func (e *PanicError) Error() string { return "panic: " + e.Value }
 
 // Options configures a Server. The zero value gets sensible defaults.
 type Options struct {
@@ -59,9 +76,37 @@ type Options struct {
 	// changes routed results, so it is not part of the cache key.
 	ScoreWorkers int
 
+	// TerminalTTL is how long a finished/failed/cancelled job stays
+	// addressable after reaching its terminal state (default 15m;
+	// negative retains forever). Evicted jobs disappear from GET /jobs
+	// and answer 404 by ID; streams already attached keep working and
+	// the result cache is unaffected.
+	TerminalTTL time.Duration
+	// MaxTerminalJobs bounds how many terminal jobs are retained at
+	// once, oldest-finished evicted first (default 1024; negative
+	// unlimited).
+	MaxTerminalJobs int
+
+	// MaxBodyBytes caps the POST /jobs request body (default 8 MiB;
+	// negative unlimited). Overflow answers HTTP 413.
+	MaxBodyBytes int64
+	// MaxCircuitBytes caps the circuit text, checked before parsing
+	// (default 4 MiB; negative unlimited).
+	MaxCircuitBytes int
+	// MaxNets and MaxCells cap the parsed circuit, checked before any
+	// routing work (defaults 50000 and 200000; negative unlimited).
+	MaxNets  int
+	MaxCells int
+
+	// Logf receives response-write failures and other non-fatal server
+	// noise (default log.Printf).
+	Logf func(format string, v ...any)
+
 	// beforeRun, when set (tests only), is called by a worker after it
 	// claims a job and before routing starts.
 	beforeRun func(*Job)
+	// sseHeartbeat overrides the SSE keepalive interval (tests only).
+	sseHeartbeat time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +121,30 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JobTimeout <= 0 {
 		o.JobTimeout = 5 * time.Minute
+	}
+	if o.TerminalTTL == 0 {
+		o.TerminalTTL = 15 * time.Minute
+	}
+	if o.MaxTerminalJobs == 0 {
+		o.MaxTerminalJobs = 1024
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.MaxCircuitBytes == 0 {
+		o.MaxCircuitBytes = 4 << 20
+	}
+	if o.MaxNets == 0 {
+		o.MaxNets = 50000
+	}
+	if o.MaxCells == 0 {
+		o.MaxCells = 200000
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	if o.sseHeartbeat <= 0 {
+		o.sseHeartbeat = 15 * time.Second
 	}
 	return o
 }
@@ -100,6 +169,22 @@ type JobConfig struct {
 
 // DefaultJobConfig is used when a submission omits "config".
 func DefaultJobConfig() JobConfig { return JobConfig{UseConstraints: true} }
+
+// validate bounds-checks the numeric fields before they reach the
+// router or the cache key: NaN/Inf/negative resistance and negative
+// counters are client errors, not routing work.
+func (jc JobConfig) validate() error {
+	if math.IsNaN(jc.RPerUm) || math.IsInf(jc.RPerUm, 0) || jc.RPerUm < 0 {
+		return fmt.Errorf("r_per_um %v must be a finite non-negative number", jc.RPerUm)
+	}
+	if jc.MaxPasses < 0 {
+		return fmt.Errorf("max_passes %d must not be negative", jc.MaxPasses)
+	}
+	if jc.Workers < 0 {
+		return fmt.Errorf("workers %d must not be negative", jc.Workers)
+	}
+	return nil
+}
 
 // toCore translates to a core.Config, rejecting unknown enum strings.
 func (jc JobConfig) toCore() (core.Config, error) {
@@ -171,9 +256,22 @@ type Server struct {
 	order    []string        // submission order, for GET /jobs
 	inflight map[string]*Job // content hash → queued/running job
 	cache    *resultCache
+	// terminal records retained terminal jobs in the order they
+	// finished; the retention policy (TerminalTTL, MaxTerminalJobs)
+	// evicts from its front.
+	terminal []terminalRec
+	stop     chan struct{} // closed by Shutdown; stops the janitor
 }
 
-// New starts a Server and its worker pool.
+// terminalRec is one retained terminal job: its ID and when it became
+// terminal.
+type terminalRec struct {
+	id string
+	at time.Time
+}
+
+// New starts a Server, its worker pool, and (when a TTL is configured)
+// the retention janitor.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -186,12 +284,92 @@ func New(opts Options) *Server {
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
 		cache:      newResultCache(opts.CacheSize),
+		stop:       make(chan struct{}),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if opts.TerminalTTL > 0 {
+		s.wg.Add(1)
+		go s.janitor(janitorInterval(opts.TerminalTTL))
+	}
 	return s
+}
+
+// janitorInterval picks a sweep period for a terminal-job TTL: a
+// quarter of the TTL, clamped so tiny test TTLs still sweep promptly
+// and huge TTLs don't stall eviction for hours.
+func janitorInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	if iv > 30*time.Second {
+		iv = 30 * time.Second
+	}
+	return iv
+}
+
+// janitor periodically evicts terminal jobs past their TTL. Size-cap
+// eviction happens inline as jobs finish; the janitor only has to catch
+// age on an otherwise idle server.
+func (s *Server) janitor(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.gcLocked(time.Now())
+			s.mu.Unlock()
+		}
+	}
+}
+
+// noteTerminalLocked registers a job that just reached a terminal state
+// with the retention policy and immediately enforces the size cap;
+// s.mu must be held. Safe to call more than once per job.
+func (s *Server) noteTerminalLocked(j *Job) {
+	if j.gcNoted {
+		return
+	}
+	j.gcNoted = true
+	s.terminal = append(s.terminal, terminalRec{id: j.ID, at: time.Now()})
+	s.gcLocked(time.Now())
+}
+
+// gcLocked evicts terminal jobs that are beyond the TTL or over the
+// size cap, oldest-finished first; s.mu must be held. Eviction removes
+// the job from the ID map and the submission-order list only — result
+// cache entries and streams holding a *Job are untouched.
+func (s *Server) gcLocked(now time.Time) {
+	ttl, maxT := s.opts.TerminalTTL, s.opts.MaxTerminalJobs
+	cut := 0
+	for cut < len(s.terminal) {
+		over := maxT > 0 && len(s.terminal)-cut > maxT
+		stale := ttl > 0 && now.Sub(s.terminal[cut].at) > ttl
+		if !over && !stale {
+			break
+		}
+		delete(s.jobs, s.terminal[cut].id)
+		cut++
+	}
+	if cut == 0 {
+		return
+	}
+	s.terminal = append(s.terminal[:0], s.terminal[cut:]...)
+	s.metrics.evicted.Add(int64(cut))
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if _, ok := s.jobs[id]; ok {
+			keep = append(keep, id)
+		}
+	}
+	s.order = keep
 }
 
 // hashKey is the content hash of (canonical config JSON, circuit text).
@@ -206,11 +384,24 @@ func hashKey(cktText string, jc JobConfig) string {
 
 // Submit validates and enqueues a routing request. Identical in-flight
 // requests coalesce onto one job; cached results produce a job that is
-// already Done.
+// already Done. Size caps (ErrTooLarge) are enforced before parsing
+// where possible and always before any routing work.
 func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
+	if max := s.opts.MaxCircuitBytes; max > 0 && len(req.Circuit) > max {
+		s.metrics.rejected.Add(1)
+		return SubmitResult{}, fmt.Errorf("%w: circuit text %d bytes exceeds cap %d", ErrTooLarge, len(req.Circuit), max)
+	}
 	ckt, err := circuit.Parse(strings.NewReader(req.Circuit))
 	if err != nil {
 		return SubmitResult{}, err
+	}
+	if max := s.opts.MaxNets; max > 0 && len(ckt.Nets) > max {
+		s.metrics.rejected.Add(1)
+		return SubmitResult{}, fmt.Errorf("%w: %d nets exceeds cap %d", ErrTooLarge, len(ckt.Nets), max)
+	}
+	if max := s.opts.MaxCells; max > 0 && len(ckt.Cells) > max {
+		s.metrics.rejected.Add(1)
+		return SubmitResult{}, fmt.Errorf("%w: %d cells exceeds cap %d", ErrTooLarge, len(ckt.Cells), max)
 	}
 	if err := ckt.Validate(); err != nil {
 		return SubmitResult{}, err
@@ -218,6 +409,9 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
 	jc := DefaultJobConfig()
 	if req.Config != nil {
 		jc = *req.Config
+	}
+	if err := jc.validate(); err != nil {
+		return SubmitResult{}, fmt.Errorf("bad config: %w", err)
 	}
 	cfg, err := jc.toCore()
 	if err != nil {
@@ -249,6 +443,7 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
 		j.payload = e.payload
 		j.phases = append([]PhaseInfo(nil), e.phases...)
 		close(j.done)
+		s.noteTerminalLocked(j)
 		return SubmitResult{Job: j, Cached: true}, nil
 	}
 	s.metrics.cacheMiss.Add(1)
@@ -317,7 +512,7 @@ func (s *Server) Cancel(id string) (Status, bool) {
 	}
 	if _, cancelledNow := j.requestCancel(); cancelledNow {
 		s.metrics.cancelled.Add(1)
-		s.dropInflight(j)
+		s.jobFinished(j)
 	}
 	return j.Snapshot(), true
 }
@@ -340,8 +535,9 @@ func (s *Server) Wait(ctx context.Context, id string) (Status, error) {
 func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	entries := s.cache.len()
+	retained := len(s.terminal)
 	s.mu.Unlock()
-	return s.metrics.snapshot(len(s.queue), s.opts.Workers, entries)
+	return s.metrics.snapshot(len(s.queue), s.opts.Workers, entries, retained)
 }
 
 // Shutdown stops accepting jobs, lets the workers drain the queue, and
@@ -352,6 +548,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		close(s.stop)
 	}
 	s.mu.Unlock()
 
@@ -370,11 +567,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-func (s *Server) dropInflight(j *Job) {
+// jobFinished releases a terminal job's dedupe slot (so the next
+// identical submission starts a fresh run instead of wedging on a dead
+// job) and registers it with the retention policy.
+func (s *Server) jobFinished(j *Job) {
 	s.mu.Lock()
 	if s.inflight[j.Hash] == j {
 		delete(s.inflight, j.Hash)
 	}
+	s.noteTerminalLocked(j)
 	s.mu.Unlock()
 }
 
@@ -388,6 +589,8 @@ func (s *Server) worker() {
 
 // runJob executes one job end to end: route under the job context,
 // channel-route, render every payload form, then publish to the cache.
+// Routing and rendering run inside a recover() boundary, so a panicking
+// run fails its job instead of killing the process.
 func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
 	defer cancel()
@@ -399,21 +602,13 @@ func (s *Server) runJob(j *Job) {
 		s.opts.beforeRun(j)
 	}
 	start := time.Now()
-	cfg := j.cfg
-	cfg.Progress = j.setProgress
 
-	res, err := core.RouteCtx(ctx, j.ckt, cfg)
+	payload, phases, err := s.routeJob(ctx, j)
 	if err != nil {
 		s.finishJob(j, err)
 		return
 	}
-	payload, err := buildPayload(res, j.greedy)
-	if err != nil {
-		s.finishJob(j, err)
-		return
-	}
-	phases := phaseInfos(res.Phases)
-	if j.finish(Done, "", payload, phases) {
+	if j.finish(Done, "", "", payload, phases) {
 		s.metrics.completed.Add(1)
 		s.metrics.observeJob(time.Since(start), phases)
 	}
@@ -422,28 +617,66 @@ func (s *Server) runJob(j *Job) {
 	if s.inflight[j.Hash] == j {
 		delete(s.inflight, j.Hash)
 	}
+	s.noteTerminalLocked(j)
 	s.mu.Unlock()
 }
 
-// finishJob classifies a routing error into Cancelled vs Failed.
+// routeJob is the fault-isolation boundary around one routing run: a
+// panic anywhere inside (router invariants, channel routing, rendering)
+// is converted into a *PanicError carrying the message and the captured
+// stack, leaving the worker free to serve the next job.
+func (s *Server) routeJob(ctx context.Context, j *Job) (payload *Payload, phases []PhaseInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			payload, phases = nil, nil
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+			s.opts.Logf("service: job %s (%s): recovered %v", j.ID, j.ckt.Name, err)
+		}
+	}()
+	if err := faultinject.Fire(faultinject.ServiceRun, j.ckt.Name); err != nil {
+		return nil, nil, err
+	}
+	cfg := j.cfg
+	cfg.Progress = j.setProgress
+	res, err := core.RouteCtx(ctx, j.ckt, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := faultinject.Fire(faultinject.ServicePayload, j.ckt.Name); err != nil {
+		return nil, nil, err
+	}
+	payload, err = buildPayload(res, j.greedy)
+	if err != nil {
+		return nil, nil, err
+	}
+	return payload, phaseInfos(res.Phases), nil
+}
+
+// finishJob classifies a routing error into Cancelled vs Failed and
+// releases the job's dedupe slot.
 func (s *Server) finishJob(j *Job, err error) {
 	st := Failed
 	msg := err.Error()
+	var stack string
+	var pe *PanicError
 	switch {
+	case errors.As(err, &pe):
+		stack = pe.Stack
 	case errors.Is(err, context.Canceled):
 		st = Cancelled
 		msg = "cancelled while running"
 	case errors.Is(err, context.DeadlineExceeded):
 		msg = "deadline exceeded: " + msg
 	}
-	if j.finish(st, msg, nil, nil) {
+	if j.finish(st, msg, stack, nil, nil) {
 		if st == Cancelled {
 			s.metrics.cancelled.Add(1)
 		} else {
 			s.metrics.failed.Add(1)
 		}
 	}
-	s.dropInflight(j)
+	s.jobFinished(j)
 }
 
 // buildPayload renders every response form from a finished routing. The
