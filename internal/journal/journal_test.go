@@ -1,0 +1,210 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string, policy SyncPolicy) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(path, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recs
+}
+
+func sameRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	want := []Record{
+		{KindSubmitted, []byte(`{"id":"j0001"}`)},
+		{KindResult, bytes.Repeat([]byte("x"), 4096)},
+		{KindTerminal, nil}, // zero-length data is legal
+		{KindSubmitted, []byte("a")},
+	}
+	j, recs := openT(t, path, SyncAlways)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	for _, r := range want {
+		if err := j.Append(r.Kind, r.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nrec, nbytes := j.Stats()
+	if nrec != int64(len(want)) || nbytes <= 0 {
+		t.Fatalf("stats after append: records=%d bytes=%d", nrec, nbytes)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := j.Append(KindSubmitted, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: got %v, want ErrClosed", err)
+	}
+
+	j2, recs := openT(t, path, SyncNone)
+	defer j2.Close()
+	if !sameRecords(recs, want) {
+		t.Fatalf("replay mismatch: got %d records", len(recs))
+	}
+	nrec, _ = j2.Stats()
+	if nrec != int64(len(want)) {
+		t.Fatalf("replayed stats: records=%d, want %d", nrec, len(want))
+	}
+}
+
+// TestTruncatedTailEveryOffset is the crash-recovery contract: a
+// journal cut anywhere inside its final record must replay every
+// earlier record intact and leave the file appendable.
+func TestTruncatedTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	master := filepath.Join(dir, "master.journal")
+	want := []Record{
+		{KindSubmitted, []byte(`{"id":"j0001","hash":"aa"}`)},
+		{KindResult, bytes.Repeat([]byte("payload"), 40)},
+		{KindTerminal, []byte(`{"id":"j0001","state":"done"}`)},
+	}
+	j, _ := openT(t, master, SyncAlways)
+	for _, r := range want[:len(want)-1] {
+		if err := j.Append(r.Kind, r.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, intact := j.Stats() // size before the final record
+	last := want[len(want)-1]
+	if err := j.Append(last.Kind, last.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := intact; cut < int64(len(whole)); cut++ {
+		path := filepath.Join(dir, "cut.journal")
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, recs := openT(t, path, SyncNone)
+		if !sameRecords(recs, want[:len(want)-1]) {
+			t.Fatalf("cut %d: replayed %d records, want the %d intact ones",
+				cut, len(recs), len(want)-1)
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() != intact {
+			t.Fatalf("cut %d: file not truncated back to %d (size %d, err %v)",
+				cut, intact, fi.Size(), err)
+		}
+		// The recovered journal must accept appends on the clean boundary.
+		if err := j.Append(last.Kind, last.Data); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, recs = openT(t, path, SyncNone)
+		if !sameRecords(recs, want) {
+			t.Fatalf("cut %d: re-replay after repair append mismatch", cut)
+		}
+	}
+	// The untouched file replays everything.
+	_, recs := openT(t, master, SyncNone)
+	if !sameRecords(recs, want) {
+		t.Fatalf("full file: replayed %d records, want %d", len(recs), len(want))
+	}
+}
+
+func TestCorruptBodyEndsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _ := openT(t, path, SyncAlways)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(KindSubmitted, bytes.Repeat([]byte{byte('a' + i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(b) / 3
+	b[recLen+headerLen+4] ^= 0xFF // flip a byte inside the second record's data
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs := openT(t, path, SyncNone)
+	defer j2.Close()
+	// Replay must keep the first record and drop the corrupt one and
+	// everything after it — a CRC failure means the tail is untrusted.
+	if len(recs) != 1 || !bytes.Equal(recs[0].Data, bytes.Repeat([]byte{'a'}, 32)) {
+		t.Fatalf("replayed %d records past a corrupt body", len(recs))
+	}
+}
+
+func TestOversizeLengthPrefixEndsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _ := openT(t, path, SyncAlways)
+	if err := j.Append(KindTerminal, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Append a fake header claiming a multi-GiB record: replay must not
+	// try to allocate it.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Close()
+	j2, recs := openT(t, path, SyncNone)
+	defer j2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+}
+
+func TestAppendTooLarge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _ := openT(t, path, SyncNone)
+	defer j.Close()
+	// The cap check runs before any write or CRC work, so the zero
+	// pages of this over-cap slice are never touched.
+	if err := j.Append(KindResult, make([]byte, MaxRecordBytes)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+	if nrec, _ := j.Stats(); nrec != 0 {
+		t.Fatalf("rejected append counted: records=%d", nrec)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := ParsePolicy("always"); err != nil || p != SyncAlways {
+		t.Fatalf("always: %v %v", p, err)
+	}
+	if p, err := ParsePolicy("none"); err != nil || p != SyncNone {
+		t.Fatalf("none: %v %v", p, err)
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

@@ -104,6 +104,10 @@ type Job struct {
 	ID   string
 	Hash string
 
+	// name is the circuit name, kept separately from ckt so jobs
+	// rebuilt from the journal (which never re-parse the circuit) can
+	// still report it.
+	name    string
 	ckt     *circuit.Circuit
 	cfg     core.Config
 	greedy  bool
@@ -134,7 +138,7 @@ func (j *Job) Snapshot() Status {
 		State:      j.state,
 		Cached:     j.cached,
 		Error:      j.errMsg,
-		Circuit:    j.ckt.Name,
+		Circuit:    j.name,
 		PanicStack: j.stack,
 	}
 	if j.progress != nil {

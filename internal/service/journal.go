@@ -1,0 +1,260 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/journal"
+	"repro/internal/routedb"
+)
+
+// Journal record schemas. Each journal record's data is one of these
+// as JSON; the CRC framing underneath is internal/journal's.
+//
+// A job's life leaves at most three records: a jrecSubmitted when it is
+// accepted, then (for done jobs) a jrecResult with the full payload,
+// then a jrecTerminal. A submitted record with no matching terminal
+// record means the process died mid-route; replay surfaces such jobs as
+// failed with their dedupe slot free, so resubmitting re-routes fresh —
+// the same contract PR 5 established for panicking runs.
+
+type jrecSubmitted struct {
+	ID      string `json:"id"`
+	Hash    string `json:"hash"`
+	Circuit string `json:"circuit"` // circuit name, for status snapshots
+}
+
+type jrecTerminal struct {
+	ID      string `json:"id"`
+	Hash    string `json:"hash"`
+	Circuit string `json:"circuit"`
+	State   State  `json:"state"`
+	Error   string `json:"error,omitempty"`
+	Cached  bool   `json:"cached,omitempty"`
+}
+
+type jrecResult struct {
+	Hash    string      `json:"hash"`
+	RouteDB []byte      `json:"routedb"` // exact bytes routedb.Marshal emitted
+	Timing  string      `json:"timing"`
+	SVG     string      `json:"svg"`
+	Layout  string      `json:"layout"`
+	Summary Summary     `json:"summary"`
+	Phases  []PhaseInfo `json:"phases,omitempty"`
+}
+
+// maxReplayRouteDB bounds the routedb bytes accepted back from disk. A
+// record inflated by corruption (or a doctored journal) is skipped
+// instead of parsed, and the io.LimitReader keeps the JSON decoder
+// from reading past the bound either way.
+const maxReplayRouteDB = 64 << 20
+
+// journalSubmittedLocked appends a job-accepted record; s.mu must be
+// held (that is what orders it before the job's terminal record). A
+// journal write failure is logged and the job proceeds: availability
+// over durability.
+func (s *Server) journalSubmittedLocked(j *Job) {
+	if s.jl == nil {
+		return
+	}
+	b, err := json.Marshal(jrecSubmitted{ID: j.ID, Hash: j.Hash, Circuit: j.name})
+	if err == nil {
+		err = s.jl.Append(journal.KindSubmitted, b)
+	}
+	if err != nil {
+		s.opts.Logf("service: journal submitted %s: %v", j.ID, err)
+	}
+}
+
+// journalTerminalLocked appends a terminal-transition record; s.mu must
+// be held.
+func (s *Server) journalTerminalLocked(j *Job) {
+	if s.jl == nil {
+		return
+	}
+	j.mu.Lock()
+	rec := jrecTerminal{ID: j.ID, Hash: j.Hash, Circuit: j.name,
+		State: j.state, Error: j.errMsg, Cached: j.cached}
+	j.mu.Unlock()
+	b, err := json.Marshal(rec)
+	if err == nil {
+		err = s.jl.Append(journal.KindTerminal, b)
+	}
+	if err != nil {
+		s.opts.Logf("service: journal terminal %s: %v", j.ID, err)
+	}
+}
+
+// journalResultLocked appends a finished payload keyed by content hash;
+// s.mu must be held. Hashes already journaled are skipped — the payload
+// is deterministic, so the first record is as good as the last.
+func (s *Server) journalResultLocked(hash string, p *Payload, phases []PhaseInfo) {
+	if s.jl == nil || p == nil || s.journaledResults[hash] {
+		return
+	}
+	b, err := json.Marshal(jrecResult{
+		Hash:    hash,
+		RouteDB: p.RouteDB,
+		Timing:  p.Timing,
+		SVG:     p.SVG,
+		Layout:  p.Layout,
+		Summary: p.Summary,
+		Phases:  phases,
+	})
+	if err == nil {
+		err = s.jl.Append(journal.KindResult, b)
+	}
+	if err != nil {
+		s.opts.Logf("service: journal result %s: %v", hash[:8], err)
+		return
+	}
+	s.journaledResults[hash] = true
+}
+
+// decodeResult rebuilds a cache entry from a result record, refusing
+// anything that does not validate: the bytes served after a restart
+// must be exactly as trustworthy as the ones routed in this process.
+func decodeResult(data []byte) (*jrecResult, *Payload, error) {
+	var rec jrecResult
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, nil, err
+	}
+	if len(rec.RouteDB) > maxReplayRouteDB {
+		return nil, nil, fmt.Errorf("routedb payload %d bytes exceeds replay cap %d", len(rec.RouteDB), maxReplayRouteDB)
+	}
+	db, err := routedb.Read(io.LimitReader(bytes.NewReader(rec.RouteDB), maxReplayRouteDB))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := db.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return &rec, &Payload{
+		RouteDB: rec.RouteDB,
+		Timing:  rec.Timing,
+		SVG:     rec.SVG,
+		Layout:  rec.Layout,
+		Summary: rec.Summary,
+	}, nil
+}
+
+// replayJournal rebuilds service state from the replayed records; s.mu
+// must be held and no workers may be running yet. Terminal jobs come
+// back addressable (subject to the retention policy), validated results
+// re-warm the LRU cache in journal order (most recent ends up most
+// recently used), and submitted-but-never-terminal jobs — in flight
+// when the process died — surface as failed jobs whose dedupe slot is
+// free, so an identical resubmission routes fresh.
+func (s *Server) replayJournal(recs []journal.Record) {
+	s.replaying = true
+	defer func() { s.replaying = false }()
+
+	type resultEntry struct {
+		payload *Payload
+		phases  []PhaseInfo
+	}
+	var (
+		submitted   []jrecSubmitted
+		terminals   []jrecTerminal
+		results     = make(map[string]resultEntry)
+		resultOrder []string
+		applied     int64
+	)
+	for _, rec := range recs {
+		switch rec.Kind {
+		case journal.KindSubmitted:
+			var sr jrecSubmitted
+			if err := json.Unmarshal(rec.Data, &sr); err != nil {
+				s.opts.Logf("service: journal replay: bad submitted record: %v", err)
+				continue
+			}
+			submitted = append(submitted, sr)
+		case journal.KindTerminal:
+			var tr jrecTerminal
+			if err := json.Unmarshal(rec.Data, &tr); err != nil || !tr.State.Terminal() {
+				s.opts.Logf("service: journal replay: bad terminal record (err=%v)", err)
+				continue
+			}
+			terminals = append(terminals, tr)
+		case journal.KindResult:
+			rr, payload, err := decodeResult(rec.Data)
+			if err != nil {
+				s.opts.Logf("service: journal replay: dropping result record: %v", err)
+				continue
+			}
+			if _, dup := results[rr.Hash]; !dup {
+				resultOrder = append(resultOrder, rr.Hash)
+			}
+			results[rr.Hash] = resultEntry{payload: payload, phases: rr.Phases}
+		default:
+			s.opts.Logf("service: journal replay: unknown record kind %d", rec.Kind)
+			continue
+		}
+		applied++
+	}
+
+	ended := make(map[string]bool, len(terminals))
+	addJob := func(j *Job) {
+		close(j.done)
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		var seq int
+		if _, err := fmt.Sscanf(j.ID, "j%d-", &seq); err == nil && seq > s.seq {
+			s.seq = seq
+		}
+		s.noteTerminalLocked(j)
+	}
+	// Terminal jobs, in the order they finished.
+	for i := range terminals {
+		tr := &terminals[i]
+		ended[tr.ID] = true
+		j := &Job{
+			ID:     tr.ID,
+			Hash:   tr.Hash,
+			name:   tr.Circuit,
+			state:  tr.State,
+			errMsg: tr.Error,
+			cached: tr.Cached,
+			done:   make(chan struct{}),
+		}
+		if tr.State == Done {
+			if e, ok := results[tr.Hash]; ok {
+				j.payload = e.payload
+				j.phases = append([]PhaseInfo(nil), e.phases...)
+			} else {
+				// The journal claims done but the result record is
+				// missing or failed validation; a done job with no
+				// payload would lie to result endpoints.
+				j.state = Failed
+				j.errMsg = "result not recovered from journal; resubmit to re-route"
+			}
+		}
+		addJob(j)
+	}
+	// In-flight at crash time: no terminal record. They surface as
+	// failed — never as inflight entries, so resubmission re-routes.
+	for i := range submitted {
+		sr := &submitted[i]
+		if ended[sr.ID] {
+			continue
+		}
+		ended[sr.ID] = true
+		addJob(&Job{
+			ID:     sr.ID,
+			Hash:   sr.Hash,
+			name:   sr.Circuit,
+			state:  Failed,
+			errMsg: "interrupted by server restart; resubmit to re-route",
+			done:   make(chan struct{}),
+		})
+	}
+	// Warm the cache in journal order so the newest results win the LRU.
+	for _, h := range resultOrder {
+		e := results[h]
+		s.cache.put(h, e.payload, e.phases)
+		s.journaledResults[h] = true
+	}
+	s.metrics.journalReplayed.Store(applied)
+}

@@ -73,6 +73,12 @@ type metrics struct {
 	netsScored atomic.Int64 // per-net candidate scores recomputed
 	netsReused atomic.Int64 // per-net scores served from the selection cache
 
+	wireConns    atomic.Int64 // open wire-protocol connections (gauge)
+	wireFrames   atomic.Int64 // request frames handled on the wire listener
+	wireOversize atomic.Int64 // frames rejected for exceeding the size cap
+
+	journalReplayed atomic.Int64 // journal records applied at startup replay
+
 	mu      sync.Mutex
 	phases  map[string]*histogram // per-phase routing latency
 	selects map[string]*histogram // per-phase time inside selectEdge
@@ -138,13 +144,19 @@ type MetricsSnapshot struct {
 	RejectedSize  int64                    `json:"rejected_too_large"`
 	NetsScored    int64                    `json:"nets_scored"`
 	NetsReused    int64                    `json:"nets_reused"`
+	WireConns     int64                    `json:"wire_conns"`
+	WireFrames    int64                    `json:"wire_frames"`
+	WireOversize  int64                    `json:"wire_rejected_oversize"`
+	JournalRecs   int64                    `json:"journal_records"`
+	JournalReplay int64                    `json:"journal_replayed"`
+	JournalBytes  int64                    `json:"journal_bytes"`
 	JobLatency    histogramJSON            `json:"job_latency_ms"`
 	PhaseLatency  map[string]histogramJSON `json:"phase_latency_ms"`
 	SelectLatency map[string]histogramJSON `json:"select_latency_ms"`
 	TimingLatency map[string]histogramJSON `json:"timing_latency_ms"`
 }
 
-func (m *metrics) snapshot(queueDepth, workers, cacheEntries, retained int) MetricsSnapshot {
+func (m *metrics) snapshot(queueDepth, workers, cacheEntries, retained int, journalRecs, journalBytes int64) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := MetricsSnapshot{
@@ -164,6 +176,12 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries, retained int) Metr
 		RejectedSize:  m.rejected.Load(),
 		NetsScored:    m.netsScored.Load(),
 		NetsReused:    m.netsReused.Load(),
+		WireConns:     m.wireConns.Load(),
+		WireFrames:    m.wireFrames.Load(),
+		WireOversize:  m.wireOversize.Load(),
+		JournalRecs:   journalRecs,
+		JournalReplay: m.journalReplayed.Load(),
+		JournalBytes:  journalBytes,
 		JobLatency:    m.jobs.export(),
 		PhaseLatency:  make(map[string]histogramJSON, len(m.phases)),
 		SelectLatency: make(map[string]histogramJSON, len(m.selects)),

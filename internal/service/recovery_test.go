@@ -1,0 +1,218 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func silentLogf(string, ...any) {}
+
+// openJournaled starts a journaled service on path and registers its
+// shutdown.
+func openJournaled(t *testing.T, path string) *Server {
+	t.Helper()
+	svc, err := Open(Options{Workers: 1, JournalPath: path, Logf: silentLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Shutdown(context.Background()) })
+	return svc
+}
+
+// submitAndWait routes ckt on svc and returns the finished job.
+func submitAndWait(t *testing.T, svc *Server, ckt string) *Job {
+	t.Helper()
+	res, err := svc.Submit(SubmitRequest{Circuit: ckt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-res.Job.Done()
+	if st := res.Job.Snapshot(); st.State != Done {
+		t.Fatalf("job %s: state %s, error %q", res.Job.ID, st.State, st.Error)
+	}
+	return res.Job
+}
+
+// TestRestartRecovery is the durability contract end to end: kill a
+// journaled service after a routed job, reopen the same journal, and
+// the terminal job is still addressable with byte-identical artifacts —
+// and an identical resubmission is a cache hit, not a re-route.
+func TestRestartRecovery(t *testing.T) {
+	ckt := readExample(t)
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+
+	svc1, err := Open(Options{Workers: 1, JournalPath: path, Logf: silentLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := submitAndWait(t, svc1, ckt)
+	p1 := j1.Payload()
+	name := j1.Snapshot().Circuit
+	if err := svc1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := openJournaled(t, path)
+	j2, ok := svc2.Job(j1.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered after restart", j1.ID)
+	}
+	st := j2.Snapshot()
+	if st.State != Done || st.Circuit != name {
+		t.Fatalf("recovered job snapshot: %+v", st)
+	}
+	p2 := j2.Payload()
+	if p2 == nil {
+		t.Fatal("recovered job has no payload")
+	}
+	if !bytes.Equal(p1.RouteDB, p2.RouteDB) {
+		t.Fatal("recovered routedb differs from pre-restart bytes")
+	}
+	if p1.Timing != p2.Timing || p1.SVG != p2.SVG || p1.Layout != p2.Layout {
+		t.Fatal("recovered artifacts differ from pre-restart bytes")
+	}
+
+	// The replay must have applied submitted + result + terminal.
+	if m := svc2.Metrics(); m.JournalReplay < 3 || m.JournalRecs < 3 {
+		t.Fatalf("journal metrics after restart: replayed=%d records=%d", m.JournalReplay, m.JournalRecs)
+	}
+
+	// Identical resubmission hits the re-warmed cache.
+	res, err := svc2.Submit(SubmitRequest{Circuit: ckt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("resubmission after restart missed the re-warmed cache")
+	}
+	if !bytes.Equal(res.Job.Payload().RouteDB, p1.RouteDB) {
+		t.Fatal("cache-served routedb differs from pre-restart bytes")
+	}
+}
+
+// TestRestartMidRoute: a submitted record with no terminal record is a
+// job that was mid-route when the process died. It must come back as a
+// failed job whose dedupe slot is free, so resubmitting routes fresh.
+func TestRestartMidRoute(t *testing.T) {
+	ckt := readExample(t)
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	hash := hashKey(ckt, DefaultJobConfig())
+
+	jl, recs, err := journal.Open(path, journal.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	b, err := json.Marshal(jrecSubmitted{ID: "j0017-" + hash[:8], Hash: hash, Circuit: "invchain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Append(journal.KindSubmitted, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := openJournaled(t, path)
+	j, ok := svc.Job("j0017-" + hash[:8])
+	if !ok {
+		t.Fatal("interrupted job not recovered")
+	}
+	st := j.Snapshot()
+	if st.State != Failed || !strings.Contains(st.Error, "interrupted") {
+		t.Fatalf("interrupted job snapshot: %+v", st)
+	}
+
+	// The dedupe slot is free: resubmitting routes fresh (not deduped,
+	// not cached), and the ID sequence resumes past the replayed job.
+	res, err := svc.Submit(SubmitRequest{Circuit: ckt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || res.Deduped {
+		t.Fatalf("resubmission of interrupted job: cached=%v deduped=%v", res.Cached, res.Deduped)
+	}
+	if !strings.HasPrefix(res.Job.ID, "j0018-") {
+		t.Fatalf("ID sequence did not resume after replay: %s", res.Job.ID)
+	}
+	<-res.Job.Done()
+	if st := res.Job.Snapshot(); st.State != Done {
+		t.Fatalf("re-routed job: state %s, error %q", st.State, st.Error)
+	}
+}
+
+// TestRestartTruncatedTail truncates the journal at every byte offset
+// inside its final record — every possible torn-append crash — and
+// reopens the service on each cut. The final record is the routed job's
+// terminal record, so the job itself degrades to the interrupted state,
+// but the result record before it survives intact: the cache is warm
+// and a resubmission serves byte-identical artifacts without routing.
+func TestRestartTruncatedTail(t *testing.T) {
+	ckt := readExample(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.journal")
+
+	svc1, err := Open(Options{Workers: 1, JournalPath: path, Logf: silentLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := submitAndWait(t, svc1, ckt)
+	wantDB := j1.Payload().RouteDB
+	if err := svc1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the record framing (length u32 | crc u32 | kind+data) to
+	// find where the final record starts.
+	lastStart := 0
+	for off := 0; off+8 <= len(full); {
+		n := int(binary.BigEndian.Uint32(full[off:]))
+		if off+8+n > len(full) {
+			t.Fatalf("journal has a torn record at offset %d", off)
+		}
+		lastStart = off
+		off += 8 + n
+	}
+	if lastStart == 0 {
+		t.Fatalf("journal too short for this test: %d bytes", len(full))
+	}
+
+	cut := filepath.Join(dir, "cut.journal")
+	for n := lastStart; n < len(full); n++ {
+		if err := os.WriteFile(cut, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		svc, err := Open(Options{Workers: 1, JournalPath: cut, Logf: silentLogf})
+		if err != nil {
+			t.Fatalf("cut at %d bytes: %v", n, err)
+		}
+		res, err := svc.Submit(SubmitRequest{Circuit: ckt})
+		if err != nil {
+			t.Fatalf("cut at %d bytes: %v", n, err)
+		}
+		if !res.Cached {
+			t.Fatalf("cut at %d bytes: cache not re-warmed from surviving result record", n)
+		}
+		if !bytes.Equal(res.Job.Payload().RouteDB, wantDB) {
+			t.Fatalf("cut at %d bytes: cached routedb differs from pre-crash bytes", n)
+		}
+		if err := svc.Shutdown(context.Background()); err != nil {
+			t.Fatalf("cut at %d bytes: %v", n, err)
+		}
+	}
+}

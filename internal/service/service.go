@@ -33,9 +33,11 @@ import (
 	"repro/internal/dgraph"
 	"repro/internal/experiment"
 	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/render"
 	"repro/internal/report"
 	"repro/internal/routedb"
+	"repro/internal/wire"
 )
 
 // Errors surfaced to submitters.
@@ -98,6 +100,26 @@ type Options struct {
 	MaxNets  int
 	MaxCells int
 
+	// JournalPath, when non-empty, opens an append-only job journal
+	// there (internal/journal): terminal jobs and finished results are
+	// persisted as they happen, and Open replays the file so both
+	// survive a restart. Empty disables durability.
+	JournalPath string
+	// JournalSync selects the journal fsync policy (default
+	// journal.SyncAlways).
+	JournalSync journal.SyncPolicy
+
+	// MaxFrameBytes caps request frames on the binary wire listener
+	// (ServeWire), mirroring MaxBodyBytes on the HTTP side. 0 inherits
+	// MaxBodyBytes; negative is unlimited (bounded at 1 GiB by the
+	// frame layer). Oversize frames answer CodeTooLarge and close the
+	// connection.
+	MaxFrameBytes int
+	// WireIdleTimeout bounds how long a wire connection may sit idle
+	// between request frames (default 2m, matching the HTTP server's
+	// IdleTimeout; negative disables).
+	WireIdleTimeout time.Duration
+
 	// Logf receives response-write failures and other non-fatal server
 	// noise (default log.Printf).
 	Logf func(format string, v ...any)
@@ -139,6 +161,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxCells == 0 {
 		o.MaxCells = 200000
+	}
+	if o.MaxFrameBytes == 0 {
+		o.MaxFrameBytes = int(o.MaxBodyBytes)
+		if o.MaxFrameBytes <= 0 {
+			o.MaxFrameBytes = wire.DefaultMaxFrame
+		}
+	}
+	if o.WireIdleTimeout == 0 {
+		o.WireIdleTimeout = 2 * time.Minute
 	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
@@ -261,6 +292,17 @@ type Server struct {
 	// evicts from its front.
 	terminal []terminalRec
 	stop     chan struct{} // closed by Shutdown; stops the janitor
+
+	// jl is the durable job journal, nil when durability is disabled.
+	// Appends happen under s.mu, which orders a job's submitted record
+	// before its terminal record; replaying marks replayed jobs so they
+	// are not re-journaled.
+	jl        *journal.Journal
+	replaying bool
+	// journaledResults tracks which content hashes already have a
+	// result record on disk, so a cache-evicted rerun of the same
+	// circuit does not append its (identical) payload again.
+	journaledResults map[string]bool
 }
 
 // terminalRec is one retained terminal job: its ID and when it became
@@ -271,20 +313,48 @@ type terminalRec struct {
 }
 
 // New starts a Server, its worker pool, and (when a TTL is configured)
-// the retention janitor.
+// the retention janitor. It is Open for configurations that cannot
+// fail; it panics if opts.JournalPath is set and the journal cannot be
+// opened — use Open to handle that error.
 func New(opts Options) *Server {
+	s, err := Open(opts)
+	if err != nil {
+		panic("service.New: " + err.Error())
+	}
+	return s
+}
+
+// Open starts a Server like New and, when opts.JournalPath is set,
+// first replays the job journal: terminal jobs reappear in the job
+// table, finished results re-warm the LRU cache (identical
+// resubmissions hit disk instead of re-routing), and jobs that were
+// mid-route at crash time surface as failed with their dedupe slot
+// free, so resubmitting them routes fresh.
+func Open(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:       opts,
-		metrics:    newMetrics(),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		queue:      make(chan *Job, opts.QueueDepth),
-		jobs:       make(map[string]*Job),
-		inflight:   make(map[string]*Job),
-		cache:      newResultCache(opts.CacheSize),
-		stop:       make(chan struct{}),
+		opts:             opts,
+		metrics:          newMetrics(),
+		baseCtx:          ctx,
+		baseCancel:       cancel,
+		queue:            make(chan *Job, opts.QueueDepth),
+		jobs:             make(map[string]*Job),
+		inflight:         make(map[string]*Job),
+		cache:            newResultCache(opts.CacheSize),
+		stop:             make(chan struct{}),
+		journaledResults: make(map[string]bool),
+	}
+	if opts.JournalPath != "" {
+		jl, recs, err := journal.Open(opts.JournalPath, opts.JournalSync)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.jl = jl
+		s.mu.Lock()
+		s.replayJournal(recs)
+		s.mu.Unlock()
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -294,7 +364,7 @@ func New(opts Options) *Server {
 		s.wg.Add(1)
 		go s.janitor(janitorInterval(opts.TerminalTTL))
 	}
-	return s
+	return s, nil
 }
 
 // janitorInterval picks a sweep period for a terminal-job TTL: a
@@ -339,6 +409,9 @@ func (s *Server) noteTerminalLocked(j *Job) {
 	}
 	j.gcNoted = true
 	s.terminal = append(s.terminal, terminalRec{id: j.ID, at: time.Now()})
+	if !s.replaying {
+		s.journalTerminalLocked(j)
+	}
 	s.gcLocked(time.Now())
 }
 
@@ -457,6 +530,7 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
 	}
 	s.inflight[hash] = j
 	s.metrics.accepted.Add(1)
+	s.journalSubmittedLocked(j)
 	return SubmitResult{Job: j}, nil
 }
 
@@ -466,6 +540,7 @@ func (s *Server) newJobLocked(ckt *circuit.Circuit, cfg core.Config, greedy bool
 	j := &Job{
 		ID:      fmt.Sprintf("j%04d-%s", s.seq, hash[:8]),
 		Hash:    hash,
+		name:    ckt.Name,
 		ckt:     ckt,
 		cfg:     cfg,
 		greedy:  greedy,
@@ -537,7 +612,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 	entries := s.cache.len()
 	retained := len(s.terminal)
 	s.mu.Unlock()
-	return s.metrics.snapshot(len(s.queue), s.opts.Workers, entries, retained)
+	var jrecs, jbytes int64
+	if s.jl != nil {
+		jrecs, jbytes = s.jl.Stats()
+	}
+	return s.metrics.snapshot(len(s.queue), s.opts.Workers, entries, retained, jrecs, jbytes)
 }
 
 // Shutdown stops accepting jobs, lets the workers drain the queue, and
@@ -557,14 +636,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Workers are parked, so every terminal transition is journaled;
+	// flush and close the journal as the last act of the drain. Stray
+	// post-drain cancels see ErrClosed and are logged, not lost state —
+	// an unjournaled cancel replays as an interrupted job.
+	if s.jl != nil {
+		if cerr := s.jl.Close(); cerr != nil {
+			s.opts.Logf("service: close journal: %v", cerr)
+		}
+	}
+	return err
 }
 
 // jobFinished releases a terminal job's dedupe slot (so the next
@@ -617,6 +706,10 @@ func (s *Server) runJob(j *Job) {
 	if s.inflight[j.Hash] == j {
 		delete(s.inflight, j.Hash)
 	}
+	// The result record lands before the terminal record claiming
+	// "done": a crash between the two downgrades the job to failed at
+	// replay instead of advertising a result that is not on disk.
+	s.journalResultLocked(j.Hash, payload, phases)
 	s.noteTerminalLocked(j)
 	s.mu.Unlock()
 }
@@ -693,6 +786,11 @@ func buildPayload(res *core.Result, greedy bool) (*Payload, error) {
 	}
 	db, err := routedb.Build(res, cr)
 	if err != nil {
+		return nil, err
+	}
+	// An invalid database must fail the job here, not surface later
+	// from a cache or journal replay a consumer already trusted.
+	if err := db.Validate(); err != nil {
 		return nil, err
 	}
 	dbJSON, err := routedb.Marshal(db)

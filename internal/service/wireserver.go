@@ -1,0 +1,200 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ServeWire serves the binary wire protocol (internal/wire) on ln,
+// sharing the job table, dedupe map, result cache, journal and metrics
+// with the HTTP API — a submission over one transport is a cache hit
+// over the other. It blocks until ln is closed and returns nil then;
+// each connection is handled on its own goroutine with FIFO response
+// ordering, so clients may pipeline requests freely.
+func (s *Server) ServeWire(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.metrics.wireConns.Add(1)
+		go func() {
+			defer s.metrics.wireConns.Add(-1)
+			defer conn.Close()
+			s.serveWireConn(conn)
+		}()
+	}
+}
+
+// serveWireConn runs one connection's request loop. Responses are
+// written in request order; flushes are batched while more pipelined
+// input is already buffered, so a burst of N requests costs ~one write.
+func (s *Server) serveWireConn(conn net.Conn) {
+	r := wire.NewReader(conn, s.opts.MaxFrameBytes)
+	// Responses (a large SVG, a routedb for a big chip) may exceed the
+	// request cap; the uint32 frame length still bounds them.
+	w := wire.NewWriter(conn, -1)
+	idle := s.opts.WireIdleTimeout
+	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		f, err := r.ReadFrame()
+		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// Mirror of the HTTP 413 path — count it, tell the
+				// client, and close: the stream cannot be resynced
+				// past an unread oversize payload.
+				s.metrics.wireOversize.Add(1)
+				s.metrics.rejected.Add(1)
+				w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeTooLarge, err.Error()))
+				w.Flush()
+			}
+			return
+		}
+		s.metrics.wireFrames.Add(1)
+		ok := s.handleWireFrame(w, f)
+		if r.Buffered() == 0 || !ok {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// handleWireFrame dispatches one request frame and stages its response.
+// It returns false when the connection must close (unknown frame type:
+// the peer is not speaking this protocol). Write errors surface at the
+// caller's flush.
+func (s *Server) handleWireFrame(w *wire.Writer, f wire.Frame) bool {
+	switch f.Type {
+	case wire.TPing:
+		w.WriteFrame(wire.TPong, f.Payload)
+
+	case wire.TSubmit:
+		cfgJSON, timeoutMs, ckt, err := wire.DecodeSubmit(f.Payload)
+		if err != nil {
+			w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeBadRequest, err.Error()))
+			return true
+		}
+		req := SubmitRequest{Circuit: string(ckt), TimeoutMs: int(timeoutMs)}
+		if len(cfgJSON) > 0 {
+			dec := json.NewDecoder(bytes.NewReader(cfgJSON))
+			dec.DisallowUnknownFields()
+			var jc JobConfig
+			if err := dec.Decode(&jc); err != nil {
+				w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeBadRequest, "bad config: "+err.Error()))
+				return true
+			}
+			req.Config = &jc
+		}
+		res, err := s.Submit(req)
+		if err != nil {
+			w.WriteFrame(wire.TErr, wire.EncodeError(wireErrCode(err), err.Error()))
+			return true
+		}
+		w.WriteFrame(wire.TSubmitted, wire.EncodeSubmitted(res.Cached, res.Deduped, res.Job.ID))
+
+	case wire.TStatus, wire.TWait:
+		j, ok := s.Job(string(f.Payload))
+		if !ok {
+			w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeNotFound, "unknown job"))
+			return true
+		}
+		if f.Type == wire.TWait {
+			// Block until terminal; the per-job deadline bounds this,
+			// and FIFO ordering means later pipelined requests simply
+			// queue behind the wait — that is the semantics asked for.
+			<-j.Done()
+		}
+		s.writeWireJSON(w, wire.TStatusOK, j.Snapshot())
+
+	case wire.TCancel:
+		st, ok := s.Cancel(string(f.Payload))
+		if !ok {
+			w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeNotFound, "unknown job"))
+			return true
+		}
+		s.writeWireJSON(w, wire.TStatusOK, st)
+
+	case wire.TResult:
+		kind, id, err := wire.DecodeResultReq(f.Payload)
+		if err != nil {
+			w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeBadRequest, err.Error()))
+			return true
+		}
+		j, ok := s.Job(id)
+		if !ok {
+			w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeNotFound, "unknown job"))
+			return true
+		}
+		p := j.Payload()
+		if p == nil {
+			snap := j.Snapshot()
+			w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeNotDone,
+				fmt.Sprintf("job not done (state %s)", snap.State)))
+			return true
+		}
+		var body []byte
+		switch kind {
+		case wire.KindRouteDB:
+			body = p.RouteDB
+		case wire.KindTiming:
+			body = []byte(p.Timing)
+		case wire.KindSVG:
+			body = []byte(p.SVG)
+		case wire.KindLayout:
+			body = []byte(p.Layout)
+		default:
+			w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeBadRequest,
+				fmt.Sprintf("unknown result kind %q", kind)))
+			return true
+		}
+		w.WriteFrame(wire.TResultOK, body)
+
+	default:
+		w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeBadRequest,
+			fmt.Sprintf("unknown frame type 0x%02x", f.Type)))
+		return false
+	}
+	return true
+}
+
+// writeWireJSON stages v as a JSON-payload frame; an encode failure is
+// answered as an internal error so the response count stays in step
+// with the pipelined requests.
+func (s *Server) writeWireJSON(w *wire.Writer, t byte, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.opts.Logf("service: wire: encode response: %v", err)
+		w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeInternal, "encode response"))
+		return
+	}
+	w.WriteFrame(t, b)
+}
+
+// wireErrCode maps a Submit error to its TErr code, mirroring the HTTP
+// handler's status mapping.
+func wireErrCode(err error) byte {
+	switch {
+	case errors.Is(err, ErrTooLarge):
+		return wire.CodeTooLarge
+	case errors.Is(err, ErrQueueFull):
+		return wire.CodeQueueFull
+	case errors.Is(err, ErrShuttingDown):
+		return wire.CodeShuttingDown
+	}
+	return wire.CodeBadRequest
+}

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"net"
+	"time"
+)
+
+// Client speaks the wire protocol over one persistent connection.
+// Methods are synchronous request/response; Send/Flush/Recv expose the
+// frame layer directly for pipelining (responses arrive strictly in
+// request order). A Client is not safe for concurrent use — open one
+// connection per goroutine, they are cheap.
+type Client struct {
+	conn net.Conn
+	r    *Reader
+	w    *Writer
+}
+
+// Dial connects to a bgr-serve wire listener.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection. The reader accepts
+// responses up to the 1 GiB sanity bound (results such as SVGs may far
+// exceed the request cap); outgoing requests are bounded by the
+// server's cap, which rejects rather than crashes.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: NewReader(conn, -1), w: NewWriter(conn, -1)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Send stages one request frame without flushing — the pipelining
+// primitive. Pair with Flush and an equal number of Recv calls.
+func (c *Client) Send(t byte, payload []byte) error { return c.w.WriteFrame(t, payload) }
+
+// Flush pushes staged request frames to the server.
+func (c *Client) Flush() error { return c.w.Flush() }
+
+// Recv reads the next response frame. A TErr frame is returned as a
+// *RemoteError (with a zero Frame), so callers can errors.As on it.
+func (c *Client) Recv() (Frame, error) {
+	f, err := c.r.ReadFrame()
+	if err != nil {
+		return Frame{}, err
+	}
+	if f.Type == TErr {
+		return Frame{}, DecodeError(f.Payload)
+	}
+	return f, nil
+}
+
+// roundTrip is one synchronous request/response exchange.
+func (c *Client) roundTrip(t byte, payload []byte, wantType byte) (Frame, error) {
+	if err := c.Send(t, payload); err != nil {
+		return Frame{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Frame{}, err
+	}
+	f, err := c.Recv()
+	if err != nil {
+		return Frame{}, err
+	}
+	if f.Type != wantType {
+		return Frame{}, &RemoteError{Code: CodeInternal,
+			Msg: "unexpected response frame type " + CodeName(f.Type)}
+	}
+	return f, nil
+}
+
+// Submit submits a circuit. cfgJSON is the canonical config JSON (nil
+// means the server default config); timeout tightens the per-job
+// deadline (0 keeps the server default).
+func (c *Client) Submit(circuit string, cfgJSON []byte, timeout time.Duration) (SubmitReply, error) {
+	var ms uint32
+	if timeout > 0 {
+		ms = uint32(timeout / time.Millisecond)
+	}
+	f, err := c.roundTrip(TSubmit, EncodeSubmit(cfgJSON, ms, []byte(circuit)), TSubmitted)
+	if err != nil {
+		return SubmitReply{}, err
+	}
+	return DecodeSubmitted(f.Payload)
+}
+
+// Status fetches a job's status snapshot (the same JSON document as
+// GET /jobs/{id}).
+func (c *Client) Status(id string) ([]byte, error) {
+	f, err := c.roundTrip(TStatus, []byte(id), TStatusOK)
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
+// Wait blocks until the job is terminal and returns its final status
+// JSON. While waiting, later pipelined requests on this connection
+// queue behind it (responses are FIFO).
+func (c *Client) Wait(id string) ([]byte, error) {
+	f, err := c.roundTrip(TWait, []byte(id), TStatusOK)
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
+// Result fetches one artifact of a done job: KindRouteDB, KindTiming,
+// KindSVG or KindLayout.
+func (c *Client) Result(id string, kind byte) ([]byte, error) {
+	f, err := c.roundTrip(TResult, EncodeResultReq(kind, id), TResultOK)
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
+// Cancel aborts a queued or running job and returns its status JSON.
+func (c *Client) Cancel(id string) ([]byte, error) {
+	f, err := c.roundTrip(TCancel, []byte(id), TStatusOK)
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
+// Ping round-trips a heartbeat frame.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(TPing, []byte("ping"), TPong)
+	return err
+}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireFrame feeds arbitrary bytes through the frame decoder and the
+// typed payload decoders. The decoder must never panic, every frame it
+// does accept must respect the payload cap, and an oversize length
+// prefix must always surface as ErrFrameTooLarge.
+func FuzzWireFrame(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed, 0)
+	w.WriteFrame(TPing, []byte("ping"))
+	w.WriteFrame(TSubmit, EncodeSubmit([]byte(`{"use_constraints":true}`), 1000, []byte("ckt")))
+	w.WriteFrame(TSubmitted, EncodeSubmitted(true, false, "j0001-aaaaaaaa"))
+	w.WriteFrame(TErr, EncodeError(CodeNotFound, "unknown job"))
+	w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{TSubmit, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{TStatus, 0, 0, 0, 0})
+
+	const cap = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data), cap)
+		for {
+			fr, err := r.ReadFrame()
+			if err != nil {
+				if errors.Is(err, ErrFrameTooLarge) {
+					return // cannot resync past an oversize frame
+				}
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return
+				}
+				t.Fatalf("unexpected ReadFrame error class: %v", err)
+			}
+			if len(fr.Payload) > cap {
+				t.Fatalf("accepted frame of %d bytes past cap %d", len(fr.Payload), cap)
+			}
+			// The typed decoders must tolerate any payload without
+			// panicking, whatever the frame type claims.
+			DecodeSubmit(fr.Payload)
+			DecodeResultReq(fr.Payload)
+			DecodeSubmitted(fr.Payload)
+			DecodeError(fr.Payload)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Reader decodes frames from a stream. It buffers the underlying
+// reader, so Buffered reports whether more pipelined requests are
+// already in hand (the server uses that to batch response flushes).
+type Reader struct {
+	br  *bufio.Reader
+	max int
+}
+
+// NewReader wraps r with a frame decoder. maxPayload caps accepted
+// frame payloads: 0 picks DefaultMaxFrame, negative means no cap
+// (still bounded at 1 GiB so a hostile length prefix cannot force an
+// absurd allocation).
+func NewReader(r io.Reader, maxPayload int) *Reader {
+	return &Reader{br: bufio.NewReader(r), max: capOrDefault(maxPayload, DefaultMaxFrame)}
+}
+
+// ReadFrame reads one frame. A clean EOF before any header byte is
+// io.EOF; a partial frame is io.ErrUnexpectedEOF. An oversize length
+// prefix returns ErrFrameTooLarge with the offending type in the
+// returned frame and nothing consumed past the header — the caller
+// must treat the stream as unsynchronized and close it.
+func (r *Reader) ReadFrame() (Frame, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r.br, hdr[:1]); err != nil {
+		return Frame{}, err
+	}
+	if _, err := io.ReadFull(r.br, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if uint64(n) > uint64(r.max) {
+		return Frame{Type: hdr[0]}, fmt.Errorf("%w: %d bytes > cap %d", ErrFrameTooLarge, n, r.max)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r.br, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{Type: hdr[0], Payload: p}, nil
+}
+
+// Buffered reports how many decoded-but-unread bytes are already
+// buffered — nonzero means at least part of another pipelined frame is
+// in hand.
+func (r *Reader) Buffered() int { return r.br.Buffered() }

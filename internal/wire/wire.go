@@ -1,0 +1,252 @@
+// Package wire is bgr-serve's compact binary protocol: RESP-style
+// typed, length-prefixed frames over one persistent TCP connection, so
+// a batch client can pipeline many requests without paying HTTP framing
+// or JSON-escaping the circuit text on every submission.
+//
+// Frame grammar (all integers big-endian):
+//
+//	frame   := type(1 byte) length(uint32) payload(length bytes)
+//
+// Request types carry the low bit range, responses the high:
+//
+//	TSubmit  0x01  payload: cfgLen(uint32) configJSON timeoutMs(uint32) circuit
+//	TStatus  0x02  payload: job ID
+//	TResult  0x03  payload: kind(1 byte: 'd' routedb, 't' timing, 's' svg, 'l' layout) job ID
+//	TCancel  0x04  payload: job ID
+//	TPing    0x05  payload: echoed verbatim
+//	TWait    0x06  payload: job ID (reply is delayed until the job is terminal)
+//
+//	TSubmitted 0x81  payload: flags(1 byte: bit0 cached, bit1 dedup) job ID
+//	TStatusOK  0x82  payload: status JSON (same document as GET /jobs/{id})
+//	TResultOK  0x83  payload: the requested artifact, raw bytes
+//	TPong      0x84  payload: the ping payload, echoed
+//	TErr       0x85  payload: code(1 byte) message
+//
+// Responses are returned strictly in request order (pipelining is
+// FIFO, like RESP). A frame whose length exceeds the receiver's cap is
+// rejected without being read; on the server that mirrors the HTTP
+// admission limits and answers CodeTooLarge before closing the
+// connection, since the stream cannot be resynchronized.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Request frame types.
+const (
+	TSubmit byte = 0x01
+	TStatus byte = 0x02
+	TResult byte = 0x03
+	TCancel byte = 0x04
+	TPing   byte = 0x05
+	TWait   byte = 0x06
+)
+
+// Response frame types.
+const (
+	TSubmitted byte = 0x81
+	TStatusOK  byte = 0x82
+	TResultOK  byte = 0x83
+	TPong      byte = 0x84
+	TErr       byte = 0x85
+)
+
+// Result artifact kinds, the first payload byte of a TResult request.
+const (
+	KindRouteDB byte = 'd'
+	KindTiming  byte = 't'
+	KindSVG     byte = 's'
+	KindLayout  byte = 'l'
+)
+
+// TErr codes, mirroring the HTTP API's status classes.
+const (
+	CodeBadRequest   byte = 1 // malformed frame/config/circuit (HTTP 400)
+	CodeNotFound     byte = 2 // unknown job ID (HTTP 404)
+	CodeTooLarge     byte = 3 // frame or submission over a size cap (HTTP 413)
+	CodeQueueFull    byte = 4 // FIFO queue at capacity (HTTP 429)
+	CodeShuttingDown byte = 5 // server draining (HTTP 503)
+	CodeNotDone      byte = 6 // result requested before the job is done (HTTP 409)
+	CodeInternal     byte = 7 // server-side failure (HTTP 500)
+)
+
+// HeaderLen is the fixed frame header size: type byte + uint32 length.
+const HeaderLen = 5
+
+// DefaultMaxFrame is the default request payload cap, mirroring the
+// HTTP transport's default POST body cap.
+const DefaultMaxFrame = 8 << 20
+
+// maxSaneFrame bounds payload allocation even when a Reader or Writer
+// is configured without a cap: the length prefix is a uint32, but no
+// legitimate bgr artifact approaches 1 GiB.
+const maxSaneFrame = 1 << 30
+
+var (
+	// ErrFrameTooLarge: a frame's length prefix exceeds the size cap.
+	// The stream cannot be resynchronized past it; close the connection.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size cap")
+	// ErrBadFrame: a frame payload does not parse as its type requires.
+	ErrBadFrame = errors.New("wire: malformed frame")
+)
+
+// Frame is one decoded frame.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// RemoteError is a TErr frame surfaced by a client.
+type RemoteError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: server error %s: %s", CodeName(e.Code), e.Msg)
+}
+
+// CodeName names a TErr code for messages and logs.
+func CodeName(c byte) string {
+	switch c {
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeNotFound:
+		return "not-found"
+	case CodeTooLarge:
+		return "too-large"
+	case CodeQueueFull:
+		return "queue-full"
+	case CodeShuttingDown:
+		return "shutting-down"
+	case CodeNotDone:
+		return "not-done"
+	case CodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code-%d", c)
+}
+
+// EncodeSubmit packs a TSubmit payload: the canonical config JSON (may
+// be empty, meaning the server default), the per-job timeout in
+// milliseconds (0 = server default), and the raw circuit text.
+func EncodeSubmit(cfgJSON []byte, timeoutMs uint32, circuit []byte) []byte {
+	p := make([]byte, 0, 8+len(cfgJSON)+len(circuit))
+	p = binary.BigEndian.AppendUint32(p, uint32(len(cfgJSON)))
+	p = append(p, cfgJSON...)
+	p = binary.BigEndian.AppendUint32(p, timeoutMs)
+	p = append(p, circuit...)
+	return p
+}
+
+// DecodeSubmit unpacks a TSubmit payload. It never panics: any
+// truncated or inconsistent layout returns ErrBadFrame.
+func DecodeSubmit(p []byte) (cfgJSON []byte, timeoutMs uint32, circuit []byte, err error) {
+	if len(p) < 4 {
+		return nil, 0, nil, fmt.Errorf("%w: submit payload %d bytes, want >= 4", ErrBadFrame, len(p))
+	}
+	n := binary.BigEndian.Uint32(p)
+	rest := p[4:]
+	if uint64(n) > uint64(len(rest)) {
+		return nil, 0, nil, fmt.Errorf("%w: submit config length %d exceeds payload", ErrBadFrame, n)
+	}
+	cfgJSON, rest = rest[:n], rest[n:]
+	if len(rest) < 4 {
+		return nil, 0, nil, fmt.Errorf("%w: submit payload truncated before timeout", ErrBadFrame)
+	}
+	timeoutMs = binary.BigEndian.Uint32(rest)
+	return cfgJSON, timeoutMs, rest[4:], nil
+}
+
+// EncodeResultReq packs a TResult payload: artifact kind + job ID.
+func EncodeResultReq(kind byte, id string) []byte {
+	p := make([]byte, 0, 1+len(id))
+	p = append(p, kind)
+	return append(p, id...)
+}
+
+// DecodeResultReq unpacks a TResult payload.
+func DecodeResultReq(p []byte) (kind byte, id string, err error) {
+	if len(p) < 1 {
+		return 0, "", fmt.Errorf("%w: empty result request", ErrBadFrame)
+	}
+	return p[0], string(p[1:]), nil
+}
+
+// Submitted flag bits.
+const (
+	flagCached byte = 1 << 0
+	flagDedup  byte = 1 << 1
+)
+
+// EncodeSubmitted packs a TSubmitted payload.
+func EncodeSubmitted(cached, dedup bool, id string) []byte {
+	var flags byte
+	if cached {
+		flags |= flagCached
+	}
+	if dedup {
+		flags |= flagDedup
+	}
+	p := make([]byte, 0, 1+len(id))
+	p = append(p, flags)
+	return append(p, id...)
+}
+
+// SubmitReply is a decoded TSubmitted payload.
+type SubmitReply struct {
+	ID     string
+	Cached bool // served from the result cache; the job is born done
+	Dedup  bool // coalesced onto an identical in-flight job
+}
+
+// DecodeSubmitted unpacks a TSubmitted payload.
+func DecodeSubmitted(p []byte) (SubmitReply, error) {
+	if len(p) < 1 {
+		return SubmitReply{}, fmt.Errorf("%w: empty submitted reply", ErrBadFrame)
+	}
+	return SubmitReply{
+		ID:     string(p[1:]),
+		Cached: p[0]&flagCached != 0,
+		Dedup:  p[0]&flagDedup != 0,
+	}, nil
+}
+
+// EncodeError packs a TErr payload.
+func EncodeError(code byte, msg string) []byte {
+	p := make([]byte, 0, 1+len(msg))
+	p = append(p, code)
+	return append(p, msg...)
+}
+
+// DecodeError unpacks a TErr payload into a RemoteError.
+func DecodeError(p []byte) *RemoteError {
+	if len(p) < 1 {
+		return &RemoteError{Code: CodeInternal, Msg: "empty error frame"}
+	}
+	return &RemoteError{Code: p[0], Msg: string(p[1:])}
+}
+
+// capOrDefault resolves a configured payload cap: 0 picks def, negative
+// means "no cap" (still bounded by maxSaneFrame on the read side).
+func capOrDefault(max, def int) int {
+	if max == 0 {
+		return def
+	}
+	if max < 0 || max > maxSaneFrame {
+		return maxSaneFrame
+	}
+	return max
+}
+
+// checkLen guards an outgoing payload against the uint32 length prefix.
+func checkLen(n int) error {
+	if uint64(n) > math.MaxUint32 {
+		return fmt.Errorf("%w: payload %d bytes does not fit a uint32 length", ErrFrameTooLarge, n)
+	}
+	return nil
+}

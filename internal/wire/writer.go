@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Writer encodes frames onto a buffered stream. Frames accumulate in
+// the buffer until Flush, so a pipelining client can stage many
+// requests and pay one syscall, and the server can answer a burst of
+// pipelined requests with one write.
+type Writer struct {
+	bw  *bufio.Writer
+	max int
+}
+
+// NewWriter wraps w with a frame encoder. maxPayload caps outgoing
+// payloads: 0 picks DefaultMaxFrame, negative means no cap (responses
+// such as a large SVG may legitimately exceed the request cap).
+func NewWriter(w io.Writer, maxPayload int) *Writer {
+	return &Writer{bw: bufio.NewWriter(w), max: capOrDefault(maxPayload, DefaultMaxFrame)}
+}
+
+// WriteFrame stages one frame. The bytes reach the connection at the
+// next Flush.
+func (w *Writer) WriteFrame(t byte, payload []byte) error {
+	if err := checkLen(len(payload)); err != nil {
+		return err
+	}
+	if len(payload) > w.max {
+		return fmt.Errorf("%w: %d bytes > cap %d", ErrFrameTooLarge, len(payload), w.max)
+	}
+	var hdr [HeaderLen]byte
+	hdr[0] = t
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(payload)
+	return err
+}
+
+// Flush sends every staged frame.
+func (w *Writer) Flush() error { return w.bw.Flush() }
