@@ -244,9 +244,14 @@ func benchGraph(b *testing.B) (*circuit.Circuit, *rgraph.Graph) {
 
 func BenchmarkDijkstraTentative(b *testing.B) {
 	_, g := benchGraph(b)
+	tr, err := g.Tentative() // warm: the loop reuses this tree's storage
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := g.Tentative(); err != nil {
+		if tr, err = g.TentativeInto(tr); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -254,6 +259,7 @@ func BenchmarkDijkstraTentative(b *testing.B) {
 
 func BenchmarkBridgeRecompute(b *testing.B) {
 	_, g := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.RecomputeBridges()
@@ -303,6 +309,13 @@ func BenchmarkTimingFlush(b *testing.B) {
 		tm.Workers = workers
 		tm.SetLumped(wl)
 		tm.Flush()
+		// Warm one perturb+flush so lazily-sized scratch (and, for the
+		// parallel path, the shared worker pool) exists before measuring.
+		for _, n := range nets {
+			tm.SetNetLumped(n, 300)
+		}
+		tm.Flush()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, n := range nets {
@@ -318,12 +331,14 @@ func BenchmarkTimingFlush(b *testing.B) {
 		tm.SetLumped(wl)
 		tm.Flush()
 		seen := make([]bool, len(tm.Cons))
+		touched := make([]int, 0, len(tm.Cons))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			// Replicates the pre-subgraph refreshTrees: dedupe the
 			// affected constraints, then run the graph-sized topo walk
 			// (what analyzeOne used to be) for each.
-			var touched []int
+			touched = touched[:0]
 			for _, n := range nets {
 				tm.SetNetLumped(n, 300+float64(i%7))
 				for _, p := range dg.ConsOfNet(n) {
@@ -345,6 +360,7 @@ func BenchmarkTimingFlush(b *testing.B) {
 
 func BenchmarkDensityUpdate(b *testing.B) {
 	s := density.New(8, 300)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ch := i % 8
@@ -504,6 +520,12 @@ func BenchmarkSelectEdge(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				// Warm one cold sweep: the per-net criteria caches are
+				// lazily sized on first touch, and measuring that one-time
+				// growth would misreport the steady state.
+				p.InvalidateAll()
+				p.SelectEdge(false)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					p.InvalidateAll()
@@ -519,6 +541,7 @@ func BenchmarkSelectEdge(b *testing.B) {
 				b.Fatal(err)
 			}
 			p.SelectEdge(false)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, ok := p.SelectEdge(false); !ok {
@@ -539,6 +562,8 @@ func BenchmarkDPrime(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			p.DPrimeSweep() // warm the lazily-sized d' cache arrays
+			b.ReportAllocs()
 			b.ResetTimer()
 			var sink float64
 			for i := 0; i < b.N; i++ {

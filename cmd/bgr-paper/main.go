@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/circuit"
@@ -157,6 +158,13 @@ type benchEntry struct {
 	BaselineMs float64 `json:"baseline_ms"`
 	CurrentMs  float64 `json:"current_ms"`
 	Speedup    float64 `json:"speedup"`
+	// AllocsPerOp is the smallest heap-allocation count of one full
+	// pipeline run across the repeats (runtime.MemStats.Mallocs delta);
+	// the minimum, like the best time, excludes one-time warm-up noise.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	// PeakHeapBytes is the largest HeapAlloc observed right after any of
+	// the repeats — the live-heap footprint of routing the dataset.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 // benchDoc is the BENCH_route.json document.
@@ -190,22 +198,25 @@ func writeBench(path string, repeats int) error {
 			tag string
 			use bool
 		}{{"constrained", true}, {"unconstrained", false}} {
-			best, err := benchOne(ckt, core.Config{UseConstraints: mode.use}, repeats)
+			best, allocs, peak, err := benchOne(ckt, core.Config{UseConstraints: mode.use}, repeats)
 			if err != nil {
 				return fmt.Errorf("%s %s: %w", name, mode.tag, err)
 			}
 			e := benchEntry{
-				Name:       name,
-				Mode:       mode.tag,
-				BaselineMs: benchBaselineMs[name+"/"+mode.tag],
-				CurrentMs:  float64(best) / float64(time.Millisecond),
+				Name:          name,
+				Mode:          mode.tag,
+				BaselineMs:    benchBaselineMs[name+"/"+mode.tag],
+				CurrentMs:     float64(best) / float64(time.Millisecond),
+				AllocsPerOp:   allocs,
+				PeakHeapBytes: peak,
 			}
 			if e.BaselineMs > 0 && e.CurrentMs > 0 {
 				e.Speedup = e.BaselineMs / e.CurrentMs
 			}
 			doc.Entries = append(doc.Entries, e)
-			fmt.Printf("bench %-6s %-14s %8.2f ms (baseline %6.1f ms, %.2fx)\n",
-				e.Name, e.Mode, e.CurrentMs, e.BaselineMs, e.Speedup)
+			fmt.Printf("bench %-6s %-14s %8.2f ms (baseline %6.1f ms, %.2fx)  %8d allocs/op  heap %5.1f MB\n",
+				e.Name, e.Mode, e.CurrentMs, e.BaselineMs, e.Speedup, e.AllocsPerOp,
+				float64(e.PeakHeapBytes)/(1<<20))
 		}
 	}
 	out, err := json.MarshalIndent(doc, "", "  ")
@@ -215,16 +226,26 @@ func writeBench(path string, repeats int) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-func benchOne(ckt *circuit.Circuit, cfg core.Config, repeats int) (time.Duration, error) {
-	best := time.Duration(0)
+func benchOne(ckt *circuit.Circuit, cfg core.Config, repeats int) (best time.Duration, allocs, peak uint64, err error) {
+	var ms runtime.MemStats
 	for i := 0; i < repeats; i++ {
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
 		start := time.Now()
 		if _, err := experiment.RunCircuit(ckt, cfg); err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
-		if d := time.Since(start); best == 0 || d < best {
+		d := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if a := ms.Mallocs - m0; i == 0 || a < allocs {
+			allocs = a
+		}
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+		if best == 0 || d < best {
 			best = d
 		}
 	}
-	return best, nil
+	return best, allocs, peak, nil
 }

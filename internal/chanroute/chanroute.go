@@ -12,6 +12,7 @@ package chanroute
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/circuit"
@@ -88,27 +89,47 @@ func Extract(ckt *circuit.Circuit, graphs []*rgraph.Graph) ([]Channel, error) {
 	for ci := range chans {
 		chans[ci].Index = ci
 	}
+	ws := extractWS{
+		trunks:  make([][]iv, len(chans)),
+		chanPin: make([][]Pin, len(chans)),
+		usedPin: make([][]bool, len(chans)),
+	}
 	for n, g := range graphs {
 		if !g.IsTree() {
 			return nil, fmt.Errorf("chanroute: net %s is not finished", ckt.Nets[n].Name)
 		}
-		if err := extractNet(ckt, g, n, chans); err != nil {
+		if err := extractNet(ckt, g, n, chans, &ws); err != nil {
 			return nil, err
 		}
 	}
 	return chans, nil
 }
 
+// iv is a trunk column interval.
+type iv struct{ lo, hi int }
+
+// extractWS holds the per-net extraction scratch, reused across nets so
+// the per-channel bucket slices are allocated once per Extract instead of
+// once per net.
+type extractWS struct {
+	terms   []circuit.PinRef
+	trunks  [][]iv  // trunk intervals per channel
+	chanPin [][]Pin // pins per channel
+	usedPin [][]bool
+	merged  []iv
+	cols    []int
+}
+
 // extractNet walks one net's alive edges and appends its segments (one per
 // connected trunk component per channel, plus straight-throughs).
-func extractNet(ckt *circuit.Circuit, g *rgraph.Graph, n int, chans []Channel) error {
-	// Pins per channel column: branch edges (cell/external pins) and feed
-	// edge endpoints.
-	type colPin struct {
-		ch  int
-		pin Pin
+func extractNet(ckt *circuit.Circuit, g *rgraph.Graph, n int, chans []Channel, ws *extractWS) error {
+	for ch := range chans {
+		ws.trunks[ch] = ws.trunks[ch][:0]
+		ws.chanPin[ch] = ws.chanPin[ch][:0]
 	}
-	var pins []colPin
+	ws.terms = ckt.AppendTerminals(ws.terms[:0], n)
+	// Pins per channel column (branch edges are cell/external pins, feed
+	// edges contribute both endpoints) and trunk intervals per channel.
 	for _, e := range g.AliveEdges() {
 		ed := &g.Edges[e]
 		switch ed.Kind {
@@ -118,43 +139,33 @@ func extractNet(ckt *circuit.Circuit, g *rgraph.Graph, n int, chans []Channel) e
 			if g.Verts[pv].Kind != rgraph.VPos {
 				pv = ed.V
 			}
-			fromTop, err := pinFromTop(ckt, g, n, pv)
+			fromTop, err := pinFromTop(ckt, g, n, pv, ws.terms)
 			if err != nil {
 				return err
 			}
-			pins = append(pins, colPin{ch: ed.Ch, pin: Pin{Col: ed.X1, FromTop: fromTop}})
+			ws.chanPin[ed.Ch] = append(ws.chanPin[ed.Ch], Pin{Col: ed.X1, FromTop: fromTop})
 		case rgraph.EFeed:
 			// Feed through row r: enters channel r from its top boundary
 			// and channel r+1 from its bottom boundary.
-			pins = append(pins, colPin{ch: ed.Ch, pin: Pin{Col: ed.X1, FromTop: true}})
-			pins = append(pins, colPin{ch: ed.Ch + 1, pin: Pin{Col: ed.X1, FromTop: false}})
+			ws.chanPin[ed.Ch] = append(ws.chanPin[ed.Ch], Pin{Col: ed.X1, FromTop: true})
+			ws.chanPin[ed.Ch+1] = append(ws.chanPin[ed.Ch+1], Pin{Col: ed.X1, FromTop: false})
+		case rgraph.ETrunk:
+			ws.trunks[ed.Ch] = append(ws.trunks[ed.Ch], iv{ed.X1, ed.X2})
 		}
 	}
-	// Trunk intervals per channel, merged into connected components. All
-	// per-channel state is indexed by channel number so every sweep below
-	// runs in ascending-channel order.
-	type iv struct{ lo, hi int }
-	trunks := make([][]iv, len(chans))
-	for _, e := range g.AliveEdges() {
-		ed := &g.Edges[e]
-		if ed.Kind == rgraph.ETrunk {
-			trunks[ed.Ch] = append(trunks[ed.Ch], iv{ed.X1, ed.X2})
+	for ch, ps := range ws.chanPin {
+		used := ws.usedPin[ch][:0]
+		for range ps {
+			used = append(used, false)
 		}
+		ws.usedPin[ch] = used
 	}
-	perChannelPins := make([][]Pin, len(chans))
-	for _, cp := range pins {
-		perChannelPins[cp.ch] = append(perChannelPins[cp.ch], cp.pin)
-	}
-	usedPin := make([][]bool, len(chans))
-	for ch, ps := range perChannelPins {
-		usedPin[ch] = make([]bool, len(ps))
-	}
-	for ch, list := range trunks {
+	for ch, list := range ws.trunks {
 		if len(list) == 0 {
 			continue
 		}
-		sort.Slice(list, func(i, j int) bool { return list[i].lo < list[j].lo })
-		merged := []iv{}
+		slices.SortFunc(list, func(a, b iv) int { return a.lo - b.lo })
+		merged := ws.merged[:0]
 		for _, x := range list {
 			if len(merged) > 0 && x.lo <= merged[len(merged)-1].hi {
 				if x.hi > merged[len(merged)-1].hi {
@@ -164,34 +175,49 @@ func extractNet(ckt *circuit.Circuit, g *rgraph.Graph, n int, chans []Channel) e
 			}
 			merged = append(merged, x)
 		}
+		ws.merged = merged
 		for _, m := range merged {
 			seg := &Segment{Net: n, Lo: m.lo, Hi: m.hi, Width: g.Pitch, Track: -1}
-			for pi, p := range perChannelPins[ch] {
-				if p.Col >= m.lo && p.Col <= m.hi && !usedPin[ch][pi] {
+			for pi, p := range ws.chanPin[ch] {
+				if p.Col >= m.lo && p.Col <= m.hi && !ws.usedPin[ch][pi] {
 					seg.Pins = append(seg.Pins, p)
-					usedPin[ch][pi] = true
+					ws.usedPin[ch][pi] = true
 				}
 			}
 			chans[ch].Segments = append(chans[ch].Segments, seg)
 		}
 	}
 	// Remaining pins form straight-throughs (vertical connections with no
-	// horizontal extent), grouped per channel+column.
-	for ch, ps := range perChannelPins {
-		byCol := map[int][]Pin{}
-		var cols []int // byCol's keys, recorded on first appearance
+	// horizontal extent), grouped per channel+column in first-appearance
+	// pin order.
+	for ch, ps := range ws.chanPin {
+		cols := ws.cols[:0]
 		for pi, p := range ps {
-			if !usedPin[ch][pi] {
-				if len(byCol[p.Col]) == 0 {
-					cols = append(cols, p.Col)
+			if ws.usedPin[ch][pi] {
+				continue
+			}
+			dup := false
+			for _, c := range cols {
+				if c == p.Col {
+					dup = true
+					break
 				}
-				byCol[p.Col] = append(byCol[p.Col], p)
+			}
+			if !dup {
+				cols = append(cols, p.Col)
 			}
 		}
+		ws.cols = cols
 		sort.Ints(cols)
 		for _, col := range cols {
+			var segPins []Pin
+			for pi, p := range ps {
+				if !ws.usedPin[ch][pi] && p.Col == col {
+					segPins = append(segPins, p)
+				}
+			}
 			chans[ch].Segments = append(chans[ch].Segments, &Segment{
-				Net: n, Lo: col, Hi: col, Pins: byCol[col], Width: g.Pitch, Track: -1,
+				Net: n, Lo: col, Hi: col, Pins: segPins, Width: g.Pitch, Track: -1,
 			})
 		}
 	}
@@ -199,10 +225,10 @@ func extractNet(ckt *circuit.Circuit, g *rgraph.Graph, n int, chans []Channel) e
 }
 
 // pinFromTop decides whether a position vertex enters its channel from the
-// channel's upper boundary.
-func pinFromTop(ckt *circuit.Circuit, g *rgraph.Graph, n int, pv int) (bool, error) {
+// channel's upper boundary. terms is the net's terminal list (Terminals
+// order), passed in so the per-net lookup is done once by the caller.
+func pinFromTop(ckt *circuit.Circuit, g *rgraph.Graph, n int, pv int, terms []circuit.PinRef) (bool, error) {
 	ti := g.Verts[pv].Term
-	terms := ckt.Terminals(n)
 	if ti < 0 || ti >= len(terms) {
 		return false, fmt.Errorf("chanroute: net %s position vertex without terminal", ckt.Nets[n].Name)
 	}
@@ -233,10 +259,14 @@ func Solve(ch *Channel) {
 	track := 0
 	unplaced := segs
 	pairs := vcgPairs(segs) // (above, below) constraints, rebuilt after doglegs
+	// Per-iteration scratch, reused across the track loop.
+	var below []int
+	var cands []*Segment
+	var placed []bool
 	for len(unplaced) > 0 {
-		below := belowCounts(unplaced, pairs)
+		below = belowCountsInto(below[:0], unplaced, pairs)
 		// Candidates: segments whose below-set is fully placed.
-		var cands []*Segment
+		cands = cands[:0]
 		for _, s := range unplaced {
 			if below[s.ord] == 0 {
 				cands = append(cands, s)
@@ -251,22 +281,27 @@ func Solve(ch *Channel) {
 				}
 			}
 			// Give up on the remaining constraints: place everything by
-			// pure left-edge and count the violations.
+			// pure left-edge and count the violations. cands must stay a
+			// copy — aliasing unplaced here would let the reused buffers
+			// clobber each other on the next iteration.
 			ch.VCGViolations += len(unplaced)
-			cands = unplaced
+			cands = append(cands, unplaced...)
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].Lo != cands[j].Lo {
-				return cands[i].Lo < cands[j].Lo
+		slices.SortFunc(cands, func(a, b *Segment) int {
+			if a.Lo != b.Lo {
+				return a.Lo - b.Lo
 			}
-			return cands[i].Hi < cands[j].Hi
+			return a.Hi - b.Hi
 		})
 		// Pack one track greedily. Wide segments occupy Width tracks; for
 		// simplicity a track row containing a wide segment advances by
 		// the widest member.
 		rowEnd := -1
 		widest := 1
-		placed := make([]bool, len(unplaced))
+		placed = placed[:0]
+		for range unplaced {
+			placed = append(placed, false)
+		}
 		for _, s := range cands {
 			if s.Lo <= rowEnd {
 				continue
@@ -337,13 +372,20 @@ func vcgPairs(segs []*Segment) [][2]*Segment {
 // belowCounts returns, for each unplaced segment (indexed by the ord field
 // it assigns), how many still-unplaced segments must lie below it.
 func belowCounts(unplaced []*Segment, pairs [][2]*Segment) []int {
+	return belowCountsInto(nil, unplaced, pairs)
+}
+
+// belowCountsInto is belowCounts appending into a caller-owned buffer.
+func belowCountsInto(below []int, unplaced []*Segment, pairs [][2]*Segment) []int {
 	for i, s := range unplaced {
 		s.ord = i
 	}
 	in := func(s *Segment) bool {
 		return s.ord < len(unplaced) && unplaced[s.ord] == s
 	}
-	below := make([]int, len(unplaced))
+	for range unplaced {
+		below = append(below, 0)
+	}
 	for _, pr := range pairs {
 		if in(pr[0]) && in(pr[1]) {
 			below[pr[0].ord]++

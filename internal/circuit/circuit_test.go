@@ -95,14 +95,18 @@ func TestPinNetIndexCoversAllTerminals(t *testing.T) {
 	idx := c.BuildPinNetIndex()
 	for n := range c.Nets {
 		for _, p := range c.Nets[n].Pins {
-			if idx[p] != n {
-				t.Errorf("index maps %s to net %d, want %d", c.PinName(p), idx[p], n)
+			if got, ok := idx.Net(p); !ok || got != n {
+				t.Errorf("index maps %s to net %d, want %d", c.PinName(p), got, n)
 			}
 		}
 	}
 	for i := range c.Ext {
-		if idx[Ext(i)] != c.Ext[i].Net {
-			t.Errorf("index maps ext %s to net %d, want %d", c.Ext[i].Name, idx[Ext(i)], c.Ext[i].Net)
+		got, ok := idx.Net(Ext(i))
+		if !ok {
+			got = NoNet
+		}
+		if got != c.Ext[i].Net {
+			t.Errorf("index maps ext %s to net %d, want %d", c.Ext[i].Name, got, c.Ext[i].Net)
 		}
 	}
 }

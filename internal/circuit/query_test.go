@@ -43,10 +43,22 @@ func TestDriveOfAndFinOf(t *testing.T) {
 func TestNetOfLinearScanMatchesIndex(t *testing.T) {
 	c := SampleSmall()
 	idx := c.BuildPinNetIndex()
-	for ref, want := range idx {
+	check := func(ref PinRef) {
+		want, ok := idx.Net(ref)
+		if !ok {
+			want = NoNet
+		}
 		if got := c.NetOf(ref); got != want {
 			t.Fatalf("NetOf(%s) = %d, index says %d", c.PinName(ref), got, want)
 		}
+	}
+	for ci := range c.Cells {
+		for pi := range c.CellTypeOf(ci).Pins {
+			check(PinRef{Cell: ci, Pin: pi})
+		}
+	}
+	for i := range c.Ext {
+		check(Ext(i))
 	}
 	// An unconnected pin returns NoNet: add a floating spare inverter.
 	c.Cells = append(c.Cells, Cell{Name: "spare", Type: SampleINV, Row: 1, Col: 26})

@@ -336,6 +336,34 @@ func (c *Circuit) Terminals(net int) []PinRef {
 	return out
 }
 
+// AppendTerminals appends the net's terminals to dst in Terminals order
+// (driver first) and returns the extended slice. Allocation-free when dst
+// has capacity.
+func (c *Circuit) AppendTerminals(dst []PinRef, net int) []PinRef {
+	var drv PinRef
+	hasDrv := false
+	if d, err := c.Driver(net); err == nil {
+		drv, hasDrv = d, true
+	}
+	if hasDrv {
+		dst = append(dst, drv)
+	}
+	for i := range c.Ext {
+		if c.Ext[i].Net == net {
+			r := Ext(i)
+			if !hasDrv || r != drv {
+				dst = append(dst, r)
+			}
+		}
+	}
+	for _, p := range c.Nets[net].Pins {
+		if !hasDrv || p != drv {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
 // Fanouts returns the non-driving terminals of a net.
 func (c *Circuit) Fanouts(net int) []PinRef {
 	ts := c.Terminals(net)
@@ -370,20 +398,62 @@ func (c *Circuit) NetOf(ref PinRef) int {
 	return NoNet
 }
 
-// PinNetIndex maps every terminal to its net for O(1) lookup.
-type PinNetIndex map[PinRef]int
+// PinNetIndex maps every terminal to its net for O(1) lookup. Cell pins
+// live in one flat array addressed by per-cell offsets — no hashing, no
+// per-entry allocation.
+type PinNetIndex struct {
+	off  []int32 // per cell: start of its pin row in pins
+	pins []int32 // net per (cell, pin), NoNet when unconnected
+	ext  []int32 // net per external terminal, NoNet when unconnected
+}
+
+// Net returns the net a terminal belongs to, with ok reporting membership.
+// Out-of-range references are simply not members.
+func (idx *PinNetIndex) Net(ref PinRef) (int, bool) {
+	var n int32 = NoNet
+	if ref.IsExt() {
+		if ref.Pin >= 0 && ref.Pin < len(idx.ext) {
+			n = idx.ext[ref.Pin]
+		}
+	} else if ref.Cell >= 0 && ref.Cell+1 < len(idx.off) {
+		row := idx.pins[idx.off[ref.Cell]:idx.off[ref.Cell+1]]
+		if ref.Pin >= 0 && ref.Pin < len(row) {
+			n = row[ref.Pin]
+		}
+	}
+	return int(n), n != NoNet
+}
+
+// Contains reports whether the terminal is connected to any net.
+func (idx *PinNetIndex) Contains(ref PinRef) bool {
+	_, ok := idx.Net(ref)
+	return ok
+}
 
 // BuildPinNetIndex indexes all net membership.
 func (c *Circuit) BuildPinNetIndex() PinNetIndex {
-	idx := make(PinNetIndex)
+	var idx PinNetIndex
+	idx.off = make([]int32, len(c.Cells)+1)
+	for ci := range c.Cells {
+		idx.off[ci+1] = idx.off[ci] + int32(len(c.CellTypeOf(ci).Pins))
+	}
+	idx.pins = make([]int32, idx.off[len(c.Cells)])
+	for i := range idx.pins {
+		idx.pins[i] = NoNet
+	}
+	idx.ext = make([]int32, len(c.Ext))
+	for i := range c.Ext {
+		idx.ext[i] = int32(c.Ext[i].Net)
+	}
 	for n := range c.Nets {
 		for _, p := range c.Nets[n].Pins {
-			idx[p] = n
-		}
-	}
-	for i := range c.Ext {
-		if c.Ext[i].Net != NoNet {
-			idx[Ext(i)] = c.Ext[i].Net
+			if p.IsExt() {
+				if p.Pin >= 0 && p.Pin < len(idx.ext) {
+					idx.ext[p.Pin] = int32(n)
+				}
+				continue
+			}
+			idx.pins[idx.off[p.Cell]+int32(p.Pin)] = int32(n)
 		}
 	}
 	return idx
@@ -399,16 +469,25 @@ type Position struct {
 // (paper Fig. 3: one terminal, several positions).
 func (c *Circuit) PositionsOf(ref PinRef) []Position {
 	if ref.IsExt() {
+		return c.AppendPositionsOf(make([]Position, 0, len(c.Ext[ref.Pin].Cols)), ref)
+	}
+	return c.AppendPositionsOf(make([]Position, 0, len(c.PinDefOf(ref).Offsets)), ref)
+}
+
+// AppendPositionsOf appends the terminal's tap positions to dst in
+// PositionsOf order and returns the extended slice. Allocation-free when
+// dst has capacity.
+func (c *Circuit) AppendPositionsOf(dst []Position, ref PinRef) []Position {
+	if ref.IsExt() {
 		e := &c.Ext[ref.Pin]
 		ch := 0
 		if e.Side == Top {
 			ch = c.Rows
 		}
-		out := make([]Position, len(e.Cols))
-		for i, col := range e.Cols {
-			out[i] = Position{Channel: ch, Col: col}
+		for _, col := range e.Cols {
+			dst = append(dst, Position{Channel: ch, Col: col})
 		}
-		return out
+		return dst
 	}
 	cell := &c.Cells[ref.Cell]
 	def := c.PinDefOf(ref)
@@ -416,11 +495,10 @@ func (c *Circuit) PositionsOf(ref PinRef) []Position {
 	if def.Side == Top {
 		ch = cell.Row + 1
 	}
-	out := make([]Position, len(def.Offsets))
-	for i, off := range def.Offsets {
-		out[i] = Position{Channel: ch, Col: cell.Col + off}
+	for _, off := range def.Offsets {
+		dst = append(dst, Position{Channel: ch, Col: cell.Col + off})
 	}
-	return out
+	return dst
 }
 
 // Channels returns the number of routing channels: one below each row plus

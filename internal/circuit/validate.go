@@ -2,7 +2,7 @@ package circuit
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Validate checks structural consistency of the circuit: placement bounds
@@ -93,9 +93,7 @@ func (c *Circuit) validateLib() error {
 }
 
 func (c *Circuit) validatePlacement() error {
-	type span struct{ lo, hi, cell int }
-	rows := make([][]span, c.Rows)
-	names := map[string]bool{}
+	names := make(map[string]bool, len(c.Cells))
 	for i := range c.Cells {
 		cell := &c.Cells[i]
 		if cell.Name == "" {
@@ -105,6 +103,19 @@ func (c *Circuit) validatePlacement() error {
 			return fmt.Errorf("cell %q: duplicate name", cell.Name)
 		}
 		names[cell.Name] = true
+	}
+	return c.validatePlacementGeo()
+}
+
+// validatePlacementGeo checks the geometric half of the placement
+// invariants — type and position bounds plus per-row overlap — in one flat
+// pass: a single span slice sorted by (row, column) replaces the per-row
+// buckets, so the check costs one allocation regardless of row count.
+func (c *Circuit) validatePlacementGeo() error {
+	type span struct{ row, lo, hi, cell int }
+	spans := make([]span, 0, len(c.Cells))
+	for i := range c.Cells {
+		cell := &c.Cells[i]
 		if cell.Type < 0 || cell.Type >= len(c.Lib) {
 			return fmt.Errorf("cell %q: type index %d out of range", cell.Name, cell.Type)
 		}
@@ -115,22 +126,65 @@ func (c *Circuit) validatePlacement() error {
 		if cell.Col < 0 || cell.Col+w > c.Cols {
 			return fmt.Errorf("cell %q: columns [%d,%d) outside [0,%d)", cell.Name, cell.Col, cell.Col+w, c.Cols)
 		}
-		rows[cell.Row] = append(rows[cell.Row], span{cell.Col, cell.Col + w, i})
+		spans = append(spans, span{cell.Row, cell.Col, cell.Col + w, i})
 	}
-	for r, spans := range rows {
-		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
-		for i := 1; i < len(spans); i++ {
-			if spans[i].lo < spans[i-1].hi {
-				return fmt.Errorf("row %d: cells %q and %q overlap",
-					r, c.Cells[spans[i-1].cell].Name, c.Cells[spans[i].cell].Name)
-			}
+	slices.SortFunc(spans, func(a, b span) int {
+		if a.row != b.row {
+			return a.row - b.row
+		}
+		return a.lo - b.lo
+	})
+	for i := 1; i < len(spans); i++ {
+		if spans[i].row == spans[i-1].row && spans[i].lo < spans[i-1].hi {
+			return fmt.Errorf("row %d: cells %q and %q overlap",
+				spans[i].row, c.Cells[spans[i-1].cell].Name, c.Cells[spans[i].cell].Name)
 		}
 	}
 	return nil
 }
 
+// ValidateGeometry rechecks only the geometric invariants — cell type and
+// position bounds, per-row overlap, and external terminal sanity — after a
+// transform that moves cells or widens the chip but leaves the netlist
+// untouched (feed-cell insertion, ECO shifts). The netlist, naming, pair
+// and constraint checks of Validate are skipped: such transforms cannot
+// invalidate them, and the full pass is too expensive to repeat inside the
+// feed-assignment search loop.
+func (c *Circuit) ValidateGeometry() error {
+	if err := c.validatePlacementGeo(); err != nil {
+		return err
+	}
+	return c.validateExt()
+}
+
 func (c *Circuit) validateNets() error {
-	names := map[string]bool{}
+	names := make(map[string]bool, len(c.Nets))
+	// One pass over the pads replaces a per-net scan of the ext list:
+	// which nets an input pad drives, and how many ext terminals each net
+	// has (for the terminal count below).
+	hasPad := make([]bool, len(c.Nets))
+	extCount := make([]int32, len(c.Nets))
+	for i := range c.Ext {
+		if n := c.Ext[i].Net; n >= 0 && n < len(c.Nets) {
+			extCount[n]++
+			if c.Ext[i].Dir == In {
+				hasPad[n] = true
+			}
+		}
+	}
+	// Flat per-cell-pin ownership (PinNetIndex addressing) replaces both
+	// the per-net duplicate map and the cross-net owner map.
+	totalPins := 0
+	pinOff := make([]int32, len(c.Cells)+1)
+	for ci := range c.Cells {
+		pinOff[ci] = int32(totalPins)
+		totalPins += len(c.CellTypeOf(ci).Pins)
+	}
+	pinOff[len(c.Cells)] = int32(totalPins)
+	owner := make([]int32, totalPins)
+	for i := range owner {
+		owner[i] = int32(NoNet)
+	}
 	for n := range c.Nets {
 		net := &c.Nets[n]
 		if net.Name == "" {
@@ -144,7 +198,6 @@ func (c *Circuit) validateNets() error {
 			return fmt.Errorf("net %q: pitch %d must be >= 1", net.Name, net.Pitch)
 		}
 		outCount := 0
-		seen := map[PinRef]bool{}
 		for _, p := range net.Pins {
 			if p.IsExt() {
 				return fmt.Errorf("net %q: external terminals attach via ext declarations, not net pins", net.Name)
@@ -156,41 +209,28 @@ func (c *Circuit) validateNets() error {
 			if p.Pin < 0 || p.Pin >= len(ct.Pins) {
 				return fmt.Errorf("net %q: pin index %d out of range for cell %q", net.Name, p.Pin, c.Cells[p.Cell].Name)
 			}
-			if seen[p] {
+			switch prev := owner[pinOff[p.Cell]+int32(p.Pin)]; {
+			case prev == int32(n):
 				return fmt.Errorf("net %q: terminal %s listed twice", net.Name, c.PinName(p))
+			case prev != int32(NoNet):
+				return fmt.Errorf("terminal %s on both nets %q and %q", c.PinName(p), c.Nets[prev].Name, net.Name)
 			}
-			seen[p] = true
+			owner[pinOff[p.Cell]+int32(p.Pin)] = int32(n)
 			if ct.Pins[p.Pin].Dir == Out {
 				outCount++
-			}
-		}
-		hasPad := false
-		for i := range c.Ext {
-			if c.Ext[i].Net == n && c.Ext[i].Dir == In {
-				hasPad = true
 			}
 		}
 		if outCount > 1 {
 			return fmt.Errorf("net %q: %d driving pins", net.Name, outCount)
 		}
-		if outCount == 1 && hasPad {
+		if outCount == 1 && hasPad[n] {
 			return fmt.Errorf("net %q: both an output pin and an input pad drive it", net.Name)
 		}
-		if outCount == 0 && !hasPad {
+		if outCount == 0 && !hasPad[n] {
 			return fmt.Errorf("net %q: no driver", net.Name)
 		}
-		if len(c.Terminals(n)) < 2 {
+		if int(extCount[n])+len(net.Pins) < 2 {
 			return fmt.Errorf("net %q: fewer than two terminals", net.Name)
-		}
-	}
-	// Each cell pin may belong to at most one net.
-	owner := map[PinRef]string{}
-	for n := range c.Nets {
-		for _, p := range c.Nets[n].Pins {
-			if prev, ok := owner[p]; ok {
-				return fmt.Errorf("terminal %s on both nets %q and %q", c.PinName(p), prev, c.Nets[n].Name)
-			}
-			owner[p] = c.Nets[n].Name
 		}
 	}
 	return nil
@@ -322,7 +362,7 @@ func (c *Circuit) validateConstraints() error {
 			if r.Cell < 0 || r.Cell >= len(c.Cells) || r.Pin < 0 || r.Pin >= len(c.CellTypeOf(r.Cell).Pins) {
 				return fmt.Errorf("constraint %q: bad terminal reference %+v", p.Name, r)
 			}
-			if _, ok := idx[r]; !ok {
+			if !idx.Contains(r) {
 				return fmt.Errorf("constraint %q: terminal %s is unconnected", p.Name, c.PinName(r))
 			}
 		}
@@ -349,8 +389,10 @@ func (c *Circuit) validateAcyclic() error {
 		if c.Lib[c.Cells[drv.Cell].Type].Sequential {
 			continue
 		}
-		for _, t := range c.Fanouts(n) {
-			if t.IsExt() {
+		// Walk the cell-pin fan-outs directly (pads cannot appear in
+		// Nets[n].Pins) instead of materializing the terminal slice.
+		for _, t := range c.Nets[n].Pins {
+			if t == drv {
 				continue
 			}
 			if c.Lib[c.Cells[t.Cell].Type].Sequential {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,22 +9,28 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/rgraph"
+	"repro/internal/workpool"
 )
 
 // delayCrit caches the §3.2 delay criteria of one candidate edge: the
 // critical count Cd (eq. 3), the global delay penalty Gl (eq. 4) and the
 // local delay increase LD. An entry is valid while the owning net's
-// timing epoch is unchanged (see router.timEpoch).
+// timing epoch is unchanged (see router.timEpoch). Counters are int32 so
+// a net's cache line packs more entries (the dcCache arrays are edge-
+// aligned and large).
 type delayCrit struct {
-	cd    int
 	gl    float64
 	ld    float64
-	tim   int
+	cd    int32
+	tim   int32
 	valid bool
 }
 
+// candidate is a (net, edge) deletion candidate in the compact int32 form
+// the whole selection engine traffics in — matching the CSR index width of
+// the timing subgraphs and the density profiles.
 type candidate struct {
-	net, edge int
+	net, edge int32
 }
 
 // candKey is a candidate's fully evaluated comparison key: the §3.4
@@ -31,12 +38,12 @@ type candidate struct {
 // lexicographic comparison (with the fEps tolerance on floats) instead of
 // re-deriving delay criteria and density interval stats per comparison.
 type candKey struct {
-	cd     int
 	gl, ld float64
+	cd     int32
 	trunk  bool
 	// The four density differences of conditions 2-5 (channel parameter
 	// minus edge interval parameter).
-	fm, nm, fM, nM int
+	fm, nm, fM, nM int32
 	edgeLen        float64
 }
 
@@ -44,17 +51,17 @@ type candKey struct {
 func (r *router) keyFor(c candidate, sc *scratch) candKey {
 	var k candKey
 	if r.cfg.UseConstraints {
-		dc := r.delayCriteriaSc(c.net, c.edge, sc)
+		dc := r.delayCriteriaSc(int(c.net), int(c.edge), sc)
 		k.cd, k.gl, k.ld = dc.cd, dc.gl, dc.ld
 	}
 	ed := r.edgeOf(c)
 	k.trunk = ed.Kind == rgraph.ETrunk
 	cs := r.dens.Channel(ed.Ch)
 	es := r.dens.Edge(ed.Ch, ed.X1, ed.X2)
-	k.fm = cs.Cm - es.Dm
-	k.nm = cs.NCm - es.NDm
-	k.fM = cs.CM - es.DM
-	k.nM = cs.NCM - es.NDM
+	k.fm = int32(cs.Cm - es.Dm)
+	k.nm = int32(cs.NCm - es.NDm)
+	k.fM = int32(cs.CM - es.DM)
+	k.nM = int32(cs.NCM - es.NDM)
 	k.edgeLen = ed.Len
 	return k
 }
@@ -138,11 +145,11 @@ func keyDensCompare(ka, kb *candKey) int {
 // (b) none of the channels the net's edges read density criteria from has
 // changed.
 type netBest struct {
-	edge      int // best candidate edge id, -1 when the net has none
 	key       candKey
-	areaOrder bool     // criteria ordering the ranking was computed under
-	tim       int      // timEpoch snapshot
 	chanV     []uint64 // density version snapshots, indexed like netChans[n]
+	edge      int32    // best candidate edge id, -1 when the net has none
+	tim       int32    // timEpoch snapshot
+	areaOrder bool     // criteria ordering the ranking was computed under
 	valid     bool
 }
 
@@ -192,12 +199,15 @@ type dpEntry struct {
 }
 
 // affectedNets lists the nets whose wiring changes when (n, e) is deleted:
-// the net itself and its differential mate.
+// the net itself and its differential mate. The returned slice aliases a
+// router-owned two-element buffer — valid until the next call.
 func (r *router) affectedNets(n int) []int {
+	r.rrNets[0] = n
 	if m := r.pairOf[n]; m != circuit.NoNet {
-		return []int{n, m}
+		r.rrNets[1] = m
+		return r.rrNets[:2]
 	}
-	return []int{n}
+	return r.rrNets[:1]
 }
 
 // delayCriteria computes (with caching) the delay criteria of candidate
@@ -305,39 +315,79 @@ func (r *router) selectEdge(restrict []int, areaOrder bool) (candidate, bool) {
 	r.dens.Flush()
 
 	nNets := len(r.graphs)
-	forEach := func(f func(n int)) {
-		if restrict != nil {
-			for _, n := range restrict {
-				f(n)
-			}
-			return
+
+	// Fold the density mutations since the last call into the dirty-net
+	// bitset: a channel whose version moved invalidates exactly the nets
+	// whose candidate graphs touch it (chanNetBits). An ordering flip
+	// invalidates everything. After this point the superset invariant
+	// holds: a clear bit proves bestValid without reading any epoch.
+	for _, ch := range r.dens.TakeChanged() {
+		row := r.chanNetBits[ch]
+		for w, m := range row {
+			r.dirtyBest[w] |= m
 		}
-		for n := 0; n < nNets; n++ {
-			f(n)
+	}
+	if areaOrder != r.lastAreaOrd {
+		for w := range r.dirtyBest {
+			r.dirtyBest[w] = ^uint64(0)
 		}
+		r.lastAreaOrd = areaOrder
 	}
 
 	// Collect the nets whose cached ranking is stale, grouped into
 	// scoring units by differential-pair leader: a unit owns both halves
 	// of a pair (their criteria read each other's state), so units touch
-	// disjoint data and can score in parallel without locks.
+	// disjoint data and can score in parallel without locks. The two
+	// explicit loops (restricted and full) would be one closure-driven
+	// helper, but the closure forces every captured local to the heap —
+	// this is the hottest call site in the router.
 	stale := r.staleBuf[:0]
 	units := r.unitBuf[:0]
-	forEach(func(n int) {
-		if r.bestValid(n, areaOrder) {
-			return
+	if restrict != nil {
+		for _, n := range restrict {
+			if r.dirtyBest[n>>6]&(1<<(uint(n)&63)) == 0 {
+				continue
+			}
+			if r.bestValid(n, areaOrder) {
+				r.clearBestDirty(n)
+				continue
+			}
+			stale = append(stale, int32(n))
+			l := n
+			if m := r.pairOf[n]; m != circuit.NoNet && m < n {
+				l = m
+			}
+			if len(units) == 0 || units[len(units)-1] != int32(l) {
+				// restrict lists pairs adjacently and the full scan is in
+				// index order, so equal leaders arrive consecutively.
+				units = append(units, int32(l))
+			}
 		}
-		stale = append(stale, n)
-		l := n
-		if m := r.pairOf[n]; m != circuit.NoNet && m < n {
-			l = m
+	} else {
+		// Walk only the set bits, in ascending net order so pair leaders
+		// still arrive consecutively for the units dedup.
+		for w, word := range r.dirtyBest {
+			for word != 0 {
+				n := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if n >= nNets {
+					break
+				}
+				if r.bestValid(n, areaOrder) {
+					r.clearBestDirty(n)
+					continue
+				}
+				stale = append(stale, int32(n))
+				l := n
+				if m := r.pairOf[n]; m != circuit.NoNet && m < n {
+					l = m
+				}
+				if len(units) == 0 || units[len(units)-1] != int32(l) {
+					units = append(units, int32(l))
+				}
+			}
 		}
-		if len(units) == 0 || units[len(units)-1] != l {
-			// restrict lists pairs adjacently and the full scan is in
-			// index order, so equal leaders arrive consecutively.
-			units = append(units, l)
-		}
-	})
+	}
 	r.staleBuf = stale
 	r.unitBuf = units
 
@@ -345,24 +395,42 @@ func (r *router) selectEdge(restrict []int, areaOrder bool) (candidate, bool) {
 		r.scoreParallel(units, areaOrder, w)
 	} else {
 		for _, l := range units {
-			r.scoreUnit(l, areaOrder, r.sc)
+			r.scoreUnit(int(l), areaOrder, r.sc)
 		}
+	}
+	// Scoring stamped each stale net's cache against the current epochs
+	// and density versions, so their bits come down again.
+	for _, n := range stale {
+		r.clearBestDirty(int(n))
 	}
 
 	// Sequential cross-net argmin over the cached per-net bests — pure
 	// key comparisons, nothing recomputed.
 	best := candidate{net: -1}
 	var bestKey *candKey
-	forEach(func(n int) {
-		b := &r.best[n]
-		if b.edge < 0 {
-			return
+	if restrict != nil {
+		for _, n := range restrict {
+			b := &r.best[n]
+			if b.edge < 0 {
+				continue
+			}
+			c := candidate{net: int32(n), edge: b.edge}
+			if best.net == -1 || r.keyLess(&b.key, bestKey, c, best, areaOrder) {
+				best, bestKey = c, &b.key
+			}
 		}
-		c := candidate{net: n, edge: b.edge}
-		if best.net == -1 || r.keyLess(&b.key, bestKey, c, best, areaOrder) {
-			best, bestKey = c, &b.key
+	} else {
+		for n := 0; n < nNets; n++ {
+			b := &r.best[n]
+			if b.edge < 0 {
+				continue
+			}
+			c := candidate{net: int32(n), edge: b.edge}
+			if best.net == -1 || r.keyLess(&b.key, bestKey, c, best, areaOrder) {
+				best, bestKey = c, &b.key
+			}
 		}
-	})
+	}
 
 	scanned := nNets
 	if restrict != nil {
@@ -383,35 +451,52 @@ func (r *router) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// scoreParallel re-scores the stale units on a bounded worker pool. Units
+// scoreBatch is the router's reusable workpool task for parallel
+// re-scoring: each of the w Run calls first claims a private scratch slot,
+// then claims unit indices from the shared counter until the batch is
+// drained. Exactly w Runs happen per submit, so slot stays in range.
+type scoreBatch struct {
+	r         *router
+	units     []int32
+	areaOrder bool
+	next      atomic.Int64
+	slot      atomic.Int64
+	wg        sync.WaitGroup
+}
+
+func (b *scoreBatch) Run() {
+	sc := b.r.scratches[int(b.slot.Add(1))-1]
+	for {
+		u := int(b.next.Add(1)) - 1
+		if u >= len(b.units) {
+			b.wg.Done()
+			return
+		}
+		b.r.scoreUnit(int(b.units[u]), b.areaOrder, sc)
+	}
+}
+
+// scoreParallel re-scores the stale units on the shared worker pool. Units
 // are data-disjoint (see selectEdge), each worker uses its own scratch,
 // and the shared router state (timing, density, lengths, trees) is
 // read-only during the fan-out, so the scoring is race-free by
 // construction — and byte-identical to the sequential path because each
-// unit's result does not depend on scheduling.
-func (r *router) scoreParallel(units []int, areaOrder bool, w int) {
+// unit's result does not depend on scheduling. The reusable batch object
+// means no goroutine, closure or WaitGroup is allocated per call.
+func (r *router) scoreParallel(units []int32, areaOrder bool, w int) {
 	if w > len(units) {
 		w = len(units)
 	}
 	for len(r.scratches) < w {
 		r.scratches = append(r.scratches, r.newScratch())
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func(sc *scratch) {
-			defer wg.Done()
-			for {
-				u := int(next.Add(1)) - 1
-				if u >= len(units) {
-					return
-				}
-				r.scoreUnit(units[u], areaOrder, sc)
-			}
-		}(r.scratches[i])
-	}
-	wg.Wait()
+	b := &r.scoreB
+	b.r, b.units, b.areaOrder = r, units, areaOrder
+	b.next.Store(0)
+	b.slot.Store(0)
+	b.wg.Add(w)
+	workpool.Submit(b, w)
+	b.wg.Wait()
 }
 
 // scoreUnit recomputes the cached ranking of a pair leader and, for a
@@ -444,9 +529,9 @@ func (r *router) scoreNet(n int, areaOrder bool, sc *scratch) {
 	}
 	nb := r.nbList[n]
 	for _, e := range nb {
-		c := candidate{net: n, edge: e}
+		c := candidate{net: int32(n), edge: e}
 		k := r.keyFor(c, sc)
-		if b.edge == -1 || r.keyLess(&k, &b.key, c, candidate{net: n, edge: b.edge}, areaOrder) {
+		if b.edge == -1 || r.keyLess(&k, &b.key, c, candidate{net: int32(n), edge: b.edge}, areaOrder) {
 			b.edge, b.key = e, k
 		}
 	}

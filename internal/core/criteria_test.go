@@ -140,7 +140,7 @@ func TestSelectEdgePrefersHarmless(t *testing.T) {
 	if !ok {
 		t.Fatal("no candidates")
 	}
-	bc := r.delayCriteria(best.net, best.edge)
+	bc := r.delayCriteria(int(best.net), int(best.edge))
 	for n, g := range r.graphs {
 		for _, e := range g.NonBridges() {
 			c := r.delayCriteria(n, e)
@@ -159,7 +159,7 @@ func TestLessIsStrictWeakOrder(t *testing.T) {
 	var cands []candidate
 	for n, g := range r.graphs {
 		for _, e := range g.NonBridges() {
-			cands = append(cands, candidate{n, e})
+			cands = append(cands, candidate{int32(n), int32(e)})
 		}
 	}
 	for _, a := range cands {
@@ -189,10 +189,10 @@ func TestDensCompareTrunkFirst(t *testing.T) {
 	for n, g := range r.graphs {
 		for _, e := range g.NonBridges() {
 			if g.Edges[e].Kind == rgraph.ETrunk && trunk.net == -1 {
-				trunk = candidate{n, e}
+				trunk = candidate{int32(n), int32(e)}
 			}
 			if g.Edges[e].Kind != rgraph.ETrunk && other.net == -1 {
-				other = candidate{n, e}
+				other = candidate{int32(n), int32(e)}
 			}
 		}
 	}

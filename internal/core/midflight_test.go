@@ -46,7 +46,7 @@ func TestDensityConsistentAfterEveryDeletion(t *testing.T) {
 				var all []candidate
 				for n, g := range r.graphs {
 					for _, e := range g.NonBridges() {
-						all = append(all, candidate{n, e})
+						all = append(all, candidate{int32(n), int32(e)})
 					}
 				}
 				if len(all) == 0 {
@@ -58,7 +58,7 @@ func TestDensityConsistentAfterEveryDeletion(t *testing.T) {
 			if !ok {
 				break
 			}
-			if err := r.deleteEdge(cand.net, cand.edge); err != nil {
+			if err := r.deleteEdge(int(cand.net), int(cand.edge)); err != nil {
 				t.Fatalf("step %d: %v", step, err)
 			}
 			want := r.recount()
@@ -94,7 +94,7 @@ func TestLongerEdgeTieBreak(t *testing.T) {
 	var cands []candidate
 	for n, g := range r.graphs {
 		for _, e := range g.NonBridges() {
-			cands = append(cands, candidate{n, e})
+			cands = append(cands, candidate{int32(n), int32(e)})
 		}
 	}
 	for i := 0; i < len(cands); i++ {

@@ -16,7 +16,8 @@ import (
 // running any deletion phase, so repeated selection sweeps measure the
 // engine itself rather than a moving routing state.
 type Probe struct {
-	r *router
+	r     *router
+	nbBuf []int32 // DPrimeSweep candidate buffer
 }
 
 // NewProbe validates the circuit and builds the router state exactly as
@@ -48,7 +49,7 @@ func NewProbe(ckt *circuit.Circuit, cfg Config) (*Probe, error) {
 // InvalidateAll in between) this measures the incremental fast path.
 func (p *Probe) SelectEdge(areaOrder bool) (net, edge int, ok bool) {
 	c, ok := p.r.selectEdge(nil, areaOrder)
-	return c.net, c.edge, ok
+	return int(c.net), int(c.edge), ok
 }
 
 // InvalidateAll marks every net's cached score and criteria stale, so the
@@ -67,8 +68,9 @@ func (p *Probe) DPrimeSweep() float64 {
 	var sum float64
 	for n := range r.graphs {
 		r.touchGeo(n) // stale-stamp the d′ cache without touching the graph
-		for _, e := range r.graphs[n].NonBridges() {
-			sum += r.dPrime(n, e)
+		p.nbBuf = r.graphs[n].AppendNonBridges(p.nbBuf[:0])
+		for _, e := range p.nbBuf {
+			sum += r.dPrime(n, int(e))
 		}
 	}
 	return sum

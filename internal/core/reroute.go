@@ -80,21 +80,46 @@ func (r *router) rerouteNet(n int, areaOrder bool, accept func(before, after obj
 	return r.tryReroute(nets, alt, areaOrder, accept)
 }
 
+// resizeCaches adjusts net n's edge-aligned criteria caches to the net's
+// current graph after a rebuild, preserving capacity. Stale entries are
+// harmless: dcCache entries are guarded by the timing epoch and dpCache
+// entries by the geometry epoch, both of which only ever advance (and are
+// bumped by the rebuild), so no stale stamp can read as current.
+func (r *router) resizeCaches(n int) {
+	ne := len(r.graphs[n].Edges)
+	if c := r.dcCache[n]; c != nil {
+		if cap(c) < ne {
+			r.dcCache[n] = make([]delayCrit, ne)
+		} else {
+			r.dcCache[n] = c[:ne]
+		}
+	}
+	if c := r.dpCache[n]; c != nil {
+		if cap(c) < ne {
+			r.dpCache[n] = make([]dpEntry, ne)
+		} else {
+			r.dpCache[n] = c[:ne]
+		}
+	}
+}
+
 // tryReroute performs one rip-up/rebuild/reroute attempt, optionally with
 // alternative feedthroughs (altFeeds[i] belongs to nets[i]), reverting
-// everything if accept rejects it. The saved state is held in slices
-// aligned with nets so every save/restore sweep follows the caller's net
-// order exactly.
+// everything if accept rejects it. The saved state is held in router-owned
+// slices aligned with nets so every save/restore sweep follows the
+// caller's net order exactly; retired graphs go to the free list so the
+// next rebuild recycles their storage.
 func (r *router) tryReroute(nets []int, altFeeds [][]rgraph.FeedPos, areaOrder bool, accept func(before, after objective) bool) (bool, error) {
 	before := r.objective()
 
-	oldGraphs := make([]*rgraph.Graph, len(nets))
-	oldFeeds := make([][]rgraph.FeedPos, len(nets))
-	for i, nn := range nets {
-		oldGraphs[i] = r.graphs[nn]
-		oldFeeds[i] = r.feeds[nn]
+	oldGraphs := r.savedGraphs[:0]
+	oldFeeds := r.savedFeeds[:0]
+	for _, nn := range nets {
+		oldGraphs = append(oldGraphs, r.graphs[nn])
+		oldFeeds = append(oldFeeds, r.feeds[nn])
 		r.densRemoveGraph(nn, r.graphs[nn])
 	}
+	r.savedGraphs, r.savedFeeds = oldGraphs, oldFeeds
 	if altFeeds != nil {
 		for _, nn := range nets {
 			r.ownSlots(nn, r.feeds[nn], false)
@@ -119,12 +144,12 @@ func (r *router) tryReroute(nets []int, altFeeds [][]rgraph.FeedPos, areaOrder b
 	restore := func() error {
 		for i, nn := range nets {
 			r.densRemoveGraph(nn, r.graphs[nn])
+			r.putGraph(r.graphs[nn])
 			r.graphs[nn] = oldGraphs[i]
 			r.densAddGraph(nn, r.graphs[nn])
 			r.touchNet(nn)
 			r.touchGeo(nn)
-			r.dpCache[nn] = nil
-			r.dcCache[nn] = nil
+			r.resizeCaches(nn)
 			r.recomputeNetChans(nn)
 		}
 		restoreFeeds()
@@ -132,12 +157,21 @@ func (r *router) tryReroute(nets []int, altFeeds [][]rgraph.FeedPos, areaOrder b
 	}
 
 	for _, nn := range nets {
-		g, err := rgraph.Build(r.ckt, r.geo, nn, r.feeds[nn])
+		g, err := rgraph.BuildInto(r.takeGraph(), r.ckt, r.geo, nn, r.feeds[nn])
 		if err != nil {
-			// Put the old graphs and feeds back before failing.
+			// Put the old graphs and feeds back before failing. Nets rebuilt
+			// before the failure already carry their new graph in the
+			// density state: remove it first, or the old graph's re-add
+			// would double count.
 			for j, m := range nets {
 				if r.graphs[m] != oldGraphs[j] {
+					r.densRemoveGraph(m, r.graphs[m])
+					r.putGraph(r.graphs[m])
 					r.graphs[m] = oldGraphs[j]
+					r.touchNet(m)
+					r.touchGeo(m)
+					r.resizeCaches(m)
+					r.recomputeNetChans(m)
 				}
 				r.densAddGraph(m, r.graphs[m])
 			}
@@ -148,8 +182,7 @@ func (r *router) tryReroute(nets []int, altFeeds [][]rgraph.FeedPos, areaOrder b
 		r.densAddGraph(nn, g)
 		r.touchNet(nn)
 		r.touchGeo(nn)
-		r.dpCache[nn] = nil
-		r.dcCache[nn] = nil
+		r.resizeCaches(nn)
 		r.recomputeNetChans(nn)
 	}
 	if len(nets) == 2 {
@@ -168,12 +201,17 @@ func (r *router) tryReroute(nets []int, altFeeds [][]rgraph.FeedPos, areaOrder b
 		if !ok {
 			break
 		}
-		if err := r.deleteEdge(best.net, best.edge); err != nil {
+		if err := r.deleteEdge(int(best.net), int(best.edge)); err != nil {
 			return false, err
 		}
 	}
 	after := r.objective()
 	if accept(before, after) {
+		// The displaced graphs are no longer referenced anywhere (trees
+		// and density already follow the new graphs); recycle them.
+		for _, g := range oldGraphs {
+			r.putGraph(g)
+		}
 		return true, nil
 	}
 	if err := restore(); err != nil {

@@ -127,7 +127,7 @@ type router struct {
 	// anything net n's criteria read changes: its own graph, its
 	// differential mate's, or the margin of a constraint touching either.
 	// dcCache entries and the per-net best are stamped with it.
-	timEpoch []int
+	timEpoch []int32
 	dcCache  [][]delayCrit
 	// geoEpoch[n] advances when net n's alive-edge set changes; dpCache
 	// entries (pure geometry) are stamped with it, surviving the timing
@@ -136,25 +136,83 @@ type router struct {
 	dpCache  [][]dpEntry
 	// nbList[n] caches the net's alive non-bridge (candidate) edge list,
 	// valid while nbEpoch[n] == geoEpoch[n].
-	nbList  [][]int
+	nbList  [][]int32
 	nbEpoch []int32
 
 	// Incremental selection engine (see criteria.go).
-	best       []netBest  // cached per-net ranked best candidate
-	netsOfCons [][]int    // reverse of dg.ConsOfNet: nets touching each constraint
-	netChans   [][]int    // distinct channels net n's edges read density from
-	sc         *scratch   // sequential scoring scratch
-	scratches  []*scratch // per-worker scratches for parallel scoring
-	staleBuf   []int      // reusable buffers for selectEdge
-	unitBuf    []int
-	selStat    selStats
-	timStat    timStats
+	best       []netBest // cached per-net ranked best candidate
+	netsOfCons [][]int   // reverse of dg.ConsOfNet: nets touching each constraint
+	netChans   [][]int   // distinct channels net n's edges read density from
+	// dirtyBest is a superset filter over stale cached bests: bit n clear
+	// guarantees bestValid(n); bit n set means "recheck". Bits are set by
+	// touchNet/touchGeo, by recomputeNetChans, and by draining the density
+	// state's changed channels through chanNetBits (bit n of
+	// chanNetBits[ch] set iff ch ∈ netChans[n]). selectEdge clears bits as
+	// it revalidates or rescores, so steady-state stale collection visits
+	// only the dirty few instead of version-checking every net.
+	dirtyBest   []uint64
+	chanNetBits [][]uint64
+	lastAreaOrd bool       // ordering of the previous selectEdge; a flip invalidates all
+	sc          *scratch   // sequential scoring scratch
+	scratches   []*scratch // per-worker scratches for parallel scoring
+	staleBuf    []int32    // reusable buffers for selectEdge
+	unitBuf     []int32
+	scoreB      scoreBatch // reusable parallel-scoring batch (workpool task)
+	selStat     selStats
+	timStat     timStats
 
-	// trunkCnt[ch][n] counts net n's alive trunk edges in channel ch; the
-	// area phase uses it to visit only nets present in the max channel.
-	trunkCnt [][]int32
+	// trunkCnt[ch*nNets+n] counts net n's alive trunk edges in channel ch
+	// (flat row-major); the area phase uses it to visit only nets present
+	// in the max channel.
+	trunkCnt []int32
+	nNets    int
+
+	// Hot-path scratch buffers, each owned by exactly one (non-reentrant)
+	// method and sized once; see docs/PERF.md for the ownership rules.
+	rrNets   [2]int    // affectedNets result backing
+	delNets  [2]int    // deleteEdge: nets being edited
+	delDirty [2]int    // deleteEdge: nets whose tree changed
+	consBuf  []int     // violatedCons / improveDelay order
+	elmBuf   []float64 // applyNetDelay: Elmore wire delays
+	perBuf   []float64 // applyNetDelay: per-arc delays
+	chanMark []int32   // recomputeNetChans channel dedup stamps
+	chanGen  int32
+	congBuf  []congScored // congestedNets scored list
+	congOut  []int        // congestedNets result backing
+
+	// Reroute scratch (see reroute.go): the save/restore state of the
+	// in-flight attempt, and a free list of retired routing graphs whose
+	// storage BuildInto recycles.
+	savedGraphs []*rgraph.Graph
+	savedFeeds  [][]rgraph.FeedPos
+	graphPool   []*rgraph.Graph
 
 	phases []PhaseStat
+}
+
+// congScored is one entry of congestedNets' working list.
+type congScored struct {
+	net   int
+	cover int
+}
+
+// takeGraph pops a retired graph for BuildInto recycling (nil when empty).
+func (r *router) takeGraph() *rgraph.Graph {
+	if len(r.graphPool) == 0 {
+		return nil
+	}
+	g := r.graphPool[len(r.graphPool)-1]
+	r.graphPool = r.graphPool[:len(r.graphPool)-1]
+	return g
+}
+
+// putGraph retires a graph no longer referenced by the router so a later
+// rebuild can reuse its storage. Callers must guarantee nothing else holds
+// the graph (rerouting only retires graphs it created itself).
+func (r *router) putGraph(g *rgraph.Graph) {
+	if g != nil {
+		r.graphPool = append(r.graphPool, g)
+	}
 }
 
 // selStats are cumulative selection counters; runPhase records per-phase
@@ -352,14 +410,14 @@ func (r *router) initNetState(nNets int) {
 	r.trees = make([]*rgraph.Tree, nNets)
 	r.wl = make([]float64, nNets)
 	r.pairOf = make([]int, nNets)
-	r.timEpoch = make([]int, nNets)
+	r.timEpoch = make([]int32, nNets)
 	r.dcCache = make([][]delayCrit, nNets)
 	r.geoEpoch = make([]int32, nNets)
 	for n := range r.geoEpoch {
 		r.geoEpoch[n] = 1 // zero-valued dpCache entries must read as stale
 	}
 	r.dpCache = make([][]dpEntry, nNets)
-	r.nbList = make([][]int, nNets)
+	r.nbList = make([][]int32, nNets)
 	r.nbEpoch = make([]int32, nNets) // 0 != initial geoEpoch 1: starts stale
 	r.best = make([]netBest, nNets)
 	r.dens = densityFor(r.ckt)
@@ -369,10 +427,29 @@ func (r *router) initNetState(nNets int) {
 		r.slotOwner[i] = -1
 	}
 	r.sc = r.newScratch()
-	r.trunkCnt = make([][]int32, r.dens.Channels())
-	for ch := range r.trunkCnt {
-		r.trunkCnt[ch] = make([]int32, nNets)
+	r.nNets = nNets
+	r.trunkCnt = make([]int32, r.dens.Channels()*nNets)
+	r.chanMark = make([]int32, r.dens.Channels())
+	words := (nNets + 63) / 64
+	r.dirtyBest = make([]uint64, words)
+	for w := range r.dirtyBest {
+		r.dirtyBest[w] = ^uint64(0) // everything starts stale
 	}
+	r.chanNetBits = make([][]uint64, r.dens.Channels())
+	for ch := range r.chanNetBits {
+		r.chanNetBits[ch] = make([]uint64, words)
+	}
+}
+
+// markBestDirty flags net n's cached best for revalidation.
+func (r *router) markBestDirty(n int) {
+	r.dirtyBest[n>>6] |= 1 << (uint(n) & 63)
+}
+
+// clearBestDirty is the inverse; only selectEdge may call it, right after
+// revalidating or rescoring net n.
+func (r *router) clearBestDirty(n int) {
+	r.dirtyBest[n>>6] &^= 1 << (uint(n) & 63)
 }
 
 // buildIndexes derives the static selection-engine indexes once graphs and
@@ -392,19 +469,33 @@ func (r *router) buildIndexes() {
 }
 
 // recomputeNetChans rebuilds net n's channel set: every channel any of its
-// edges reads density criteria from. Rebuilds keep rows (hence channels)
-// fixed and only move columns, but the set is cheap enough to refresh.
+// edges reads density criteria from. Dedup is by generation stamp in the
+// router-owned chanMark array, so a rebuild allocates nothing.
 func (r *router) recomputeNetChans(n int) {
-	seen := make([]bool, r.dens.Channels())
+	r.chanGen++
+	if r.chanGen == 0 { // wrapped: stale stamps could read as current
+		for i := range r.chanMark {
+			r.chanMark[i] = 0
+		}
+		r.chanGen = 1
+	}
+	gen := r.chanGen
+	for _, ch := range r.netChans[n] {
+		r.chanNetBits[ch][n>>6] &^= 1 << (uint(n) & 63)
+	}
 	chans := r.netChans[n][:0]
 	for i := range r.graphs[n].Edges {
 		ch := r.graphs[n].Edges[i].Ch
-		if ch >= 0 && ch < len(seen) && !seen[ch] {
-			seen[ch] = true
+		if ch >= 0 && ch < len(r.chanMark) && r.chanMark[ch] != gen {
+			r.chanMark[ch] = gen
 			chans = append(chans, ch)
 		}
 	}
 	r.netChans[n] = chans
+	for _, ch := range chans {
+		r.chanNetBits[ch][n>>6] |= 1 << (uint(n) & 63)
+	}
+	r.markBestDirty(n)
 }
 
 func (r *router) setup() error {
@@ -478,13 +569,13 @@ func sameShape(a, b *rgraph.Graph) error {
 // and the per-channel trunk index.
 func (r *router) densAddGraph(n int, g *rgraph.Graph) {
 	w := g.Pitch
-	for _, e := range g.AliveEdges() {
+	for e := range g.Edges {
 		ed := &g.Edges[e]
-		if ed.Kind != rgraph.ETrunk {
+		if !ed.Alive || ed.Kind != rgraph.ETrunk {
 			continue
 		}
 		r.dens.Add(ed.Ch, ed.X1, ed.X2, w)
-		r.trunkCnt[ed.Ch][n]++
+		r.trunkCnt[ed.Ch*r.nNets+n]++
 		if ed.Bridge {
 			r.dens.AddBridge(ed.Ch, ed.X1, ed.X2, w)
 		}
@@ -494,13 +585,13 @@ func (r *router) densAddGraph(n int, g *rgraph.Graph) {
 // densRemoveGraph removes every alive edge of a net's graph.
 func (r *router) densRemoveGraph(n int, g *rgraph.Graph) {
 	w := g.Pitch
-	for _, e := range g.AliveEdges() {
+	for e := range g.Edges {
 		ed := &g.Edges[e]
-		if ed.Kind != rgraph.ETrunk {
+		if !ed.Alive || ed.Kind != rgraph.ETrunk {
 			continue
 		}
 		r.dens.Remove(ed.Ch, ed.X1, ed.X2, w)
-		r.trunkCnt[ed.Ch][n]--
+		r.trunkCnt[ed.Ch*r.nNets+n]--
 		if ed.Bridge {
 			r.dens.RemoveBridge(ed.Ch, ed.X1, ed.X2, w)
 		}
@@ -515,7 +606,7 @@ func (r *router) densRemoveEdges(n int, removed []int) {
 			continue
 		}
 		r.dens.Remove(ed.Ch, ed.X1, ed.X2, g.Pitch)
-		r.trunkCnt[ed.Ch][n]--
+		r.trunkCnt[ed.Ch*r.nNets+n]--
 		if ed.Bridge {
 			r.dens.RemoveBridge(ed.Ch, ed.X1, ed.X2, g.Pitch)
 		}
@@ -574,8 +665,10 @@ func (r *router) refreshTrees(nets []int) error {
 // included because delayCriteria(n, e) reads both halves of a pair.
 func (r *router) touchNet(n int) {
 	r.timEpoch[n]++
+	r.markBestDirty(n)
 	if m := r.pairOf[n]; m != circuit.NoNet {
 		r.timEpoch[m]++
+		r.markBestDirty(m)
 	}
 }
 
@@ -586,6 +679,7 @@ func (r *router) touchNet(n int) {
 // bgr-vet epochs contract).
 func (r *router) touchGeo(n int) {
 	r.geoEpoch[n]++
+	r.markBestDirty(n)
 }
 
 // touchCons invalidates every net whose criteria read constraint p's
@@ -600,14 +694,14 @@ func (r *router) touchCons(p int) {
 // the configured delay model.
 func (r *router) applyNetDelay(n int) {
 	if r.cfg.DelayModel == Elmore {
-		wire := r.graphs[n].ElmoreDelays(r.trees[n], r.ckt, r.cfg.RPerUm)
-		drv, _ := r.ckt.Driver(n)
-		tf, td := r.ckt.DriveOf(drv)
-		base := r.ckt.FanoutLoad(n)*tf + r.wl[n]*r.ckt.Tech.WireCapPerUm(r.ckt.Nets[n].Pitch)*td
-		per := make([]float64, 0, len(wire)-1)
+		wire := r.graphs[n].ElmoreDelaysInto(r.elmBuf, r.trees[n], r.ckt, r.cfg.RPerUm)
+		r.elmBuf = wire
+		base := r.dg.LumpedArcDelay(n, r.wl[n])
+		per := r.perBuf[:0]
 		for i := 1; i < len(wire); i++ {
 			per = append(per, base+wire[i])
 		}
+		r.perBuf = per
 		r.tm.SetNetArcDelays(n, per)
 		return
 	}
@@ -615,13 +709,17 @@ func (r *router) applyNetDelay(n int) {
 }
 
 // deleteEdge removes one selected edge (and its differential mirror),
-// updating density, bridges, caches, trees and timing.
+// updating density, bridges, caches, trees and timing. The net lists live
+// in router-owned two-element buffers (deleteEdge is not reentrant).
 func (r *router) deleteEdge(n, e int) error {
-	nets := []int{n}
+	r.delNets[0] = n
+	nn2 := 1
 	if m := r.pairOf[n]; m != circuit.NoNet {
-		nets = append(nets, m)
+		r.delNets[1] = m
+		nn2 = 2
 	}
-	var dirty []int
+	nets := r.delNets[:nn2]
+	nDirty := 0
 	for _, nn := range nets {
 		g := r.graphs[nn]
 		removed, err := g.Delete(e)
@@ -635,13 +733,14 @@ func (r *router) deleteEdge(n, e int) error {
 		r.touchGeo(nn)
 		for _, re := range removed {
 			if r.trees[nn].InTree[re] {
-				dirty = append(dirty, nn)
+				r.delDirty[nDirty] = nn
+				nDirty++
 				break
 			}
 		}
 	}
-	if len(dirty) > 0 {
-		return r.refreshTrees(dirty)
+	if nDirty > 0 {
+		return r.refreshTrees(r.delDirty[:nDirty])
 	}
 	return nil
 }
@@ -659,7 +758,7 @@ func (r *router) initialRouting(ps *PhaseStat) error {
 			return nil
 		}
 		kind := r.edgeOf(best).Kind
-		if err := r.deleteEdge(best.net, best.edge); err != nil {
+		if err := r.deleteEdge(int(best.net), int(best.edge)); err != nil {
 			return err
 		}
 		ps.Deletions++
@@ -722,8 +821,11 @@ func (r *router) recoverViolations(ps *PhaseStat) error {
 	return nil
 }
 
+// violatedCons lists the violated constraints, worst margin first. The
+// result aliases a router-owned buffer, valid until the next violatedCons
+// or improveDelay pass.
 func (r *router) violatedCons() []int {
-	var out []int
+	out := r.consBuf[:0]
 	for p := range r.tm.Cons {
 		if r.tm.Cons[p].Margin < 0 {
 			out = append(out, p)
@@ -732,6 +834,7 @@ func (r *router) violatedCons() []int {
 	sort.SliceStable(out, func(a, b int) bool {
 		return r.tm.Cons[out[a]].Margin < r.tm.Cons[out[b]].Margin
 	})
+	r.consBuf = out
 	return out
 }
 
@@ -739,10 +842,11 @@ func (r *router) violatedCons() []int {
 // margin order and reroute its critical nets.
 func (r *router) improveDelay(ps *PhaseStat) error {
 	for pass := 0; pass < r.cfg.maxPasses(); pass++ {
-		order := make([]int, len(r.tm.Cons))
-		for i := range order {
-			order[i] = i
+		order := r.consBuf[:0]
+		for i := range r.tm.Cons {
+			order = append(order, i)
 		}
+		r.consBuf = order
 		sort.SliceStable(order, func(a, b int) bool {
 			return r.tm.Cons[order[a]].Margin < r.tm.Cons[order[b]].Margin
 		})
@@ -809,37 +913,35 @@ func (r *router) congestedNets() []int {
 	if ch < 0 || cm == 0 {
 		return nil
 	}
-	profile := r.dens.ProfileM(ch)
-	type scored struct {
-		net   int
-		cover int
-	}
-	var list []scored
-	for n, cnt := range r.trunkCnt[ch] {
+	// An edge interval's ND_M already counts its columns at the channel
+	// maximum — MaxCM's channel has C_M == cm, so summing ND_M over the
+	// net's trunk edges in the channel is exactly the old per-column
+	// profile scan (edges of one net never overlap columns).
+	list := r.congBuf[:0]
+	row := r.trunkCnt[ch*r.nNets : (ch+1)*r.nNets]
+	for n, cnt := range row {
 		if cnt <= 0 {
 			continue
 		}
 		g := r.graphs[n]
 		cover := 0
-		for _, e := range g.AliveEdges() {
+		for e := range g.Edges {
 			ed := &g.Edges[e]
-			if ed.Kind != rgraph.ETrunk || ed.Ch != ch {
+			if !ed.Alive || ed.Kind != rgraph.ETrunk || ed.Ch != ch || ed.X1 == ed.X2 {
 				continue
 			}
-			for x := ed.X1; x < ed.X2; x++ {
-				if profile[x] == cm {
-					cover++
-				}
-			}
+			cover += r.dens.Edge(ed.Ch, ed.X1, ed.X2).NDM
 		}
 		if cover > 0 {
-			list = append(list, scored{n, cover})
+			list = append(list, congScored{n, cover})
 		}
 	}
+	r.congBuf = list
 	sort.SliceStable(list, func(a, b int) bool { return list[a].cover > list[b].cover })
-	out := make([]int, len(list))
-	for i, s := range list {
-		out[i] = s.net
+	out := r.congOut[:0]
+	for _, s := range list {
+		out = append(out, s.net)
 	}
+	r.congOut = out
 	return out
 }

@@ -35,36 +35,49 @@ type EdgeStats struct {
 	NDm int // ND_m(e): columns of the interval where d_m equals C_m(c)
 }
 
-// State tracks densities for every channel of a chip.
+// State tracks densities for every channel of a chip. The profiles live in
+// two flat int32 arrays indexed channel-major (channel*cols + column) —
+// the same structure-of-arrays discipline as the timing subgraphs — so a
+// profile update touches one contiguous cache-friendly run and the state
+// allocates nothing after New.
 type State struct {
-	cols    int
-	dM      [][]int
-	dm      [][]int
-	dirty   []bool
-	stats   []ChannelStats
-	version []uint64
+	cols     int
+	channels int
+	dM       []int32 // d_M, channel-major
+	dm       []int32 // d_m, channel-major
+	dirty    []bool
+	stats    []ChannelStats
+	version  []uint64
+
+	// changed accumulates the channels whose version moved since the last
+	// TakeChanged, deduplicated via changedMark; the router drains it to
+	// invalidate only the nets touching those channels.
+	changed     []int32
+	changedMark []bool
 }
 
 // New creates a density state for the given channel count and column count.
 func New(channels, cols int) *State {
 	s := &State{
-		cols:    cols,
-		dM:      make([][]int, channels),
-		dm:      make([][]int, channels),
-		dirty:   make([]bool, channels),
-		stats:   make([]ChannelStats, channels),
-		version: make([]uint64, channels),
+		cols:     cols,
+		channels: channels,
+		dM:       make([]int32, channels*cols),
+		dm:       make([]int32, channels*cols),
+		dirty:    make([]bool, channels),
+		stats:    make([]ChannelStats, channels),
+		version:  make([]uint64, channels),
+
+		changed:     make([]int32, 0, channels),
+		changedMark: make([]bool, channels),
 	}
-	for c := range s.dM {
-		s.dM[c] = make([]int, cols)
-		s.dm[c] = make([]int, cols)
+	for c := range s.dirty {
 		s.dirty[c] = true
 	}
 	return s
 }
 
 // Channels returns the number of channels tracked.
-func (s *State) Channels() int { return len(s.dM) }
+func (s *State) Channels() int { return s.channels }
 
 // Cols returns the number of columns tracked.
 func (s *State) Cols() int { return s.cols }
@@ -73,17 +86,24 @@ func (s *State) span(ch, x1, x2 int) (int, int) {
 	if x2 < x1 {
 		x1, x2 = x2, x1
 	}
-	if ch < 0 || ch >= len(s.dM) || x1 < 0 || x2 > s.cols {
-		panic(fmt.Sprintf("density: interval ch=%d [%d,%d) outside %dx%d", ch, x1, x2, len(s.dM), s.cols))
+	if ch < 0 || ch >= s.channels || x1 < 0 || x2 > s.cols {
+		panic(fmt.Sprintf("density: interval ch=%d [%d,%d) outside %dx%d", ch, x1, x2, s.channels, s.cols))
 	}
 	return x1, x2
 }
 
+// rowM returns channel ch's d_M profile slice.
+func (s *State) rowM(ch int) []int32 { return s.dM[ch*s.cols : (ch+1)*s.cols] }
+
+// rowm returns channel ch's d_m profile slice.
+func (s *State) rowm(ch int) []int32 { return s.dm[ch*s.cols : (ch+1)*s.cols] }
+
 // Add adds a trunk edge of the given pitch weight spanning [x1, x2).
 func (s *State) Add(ch, x1, x2, w int) {
 	x1, x2 = s.span(ch, x1, x2)
+	row := s.rowM(ch)
 	for x := x1; x < x2; x++ {
-		s.dM[ch][x] += w
+		row[x] += int32(w)
 	}
 	s.touch(ch)
 }
@@ -91,9 +111,10 @@ func (s *State) Add(ch, x1, x2, w int) {
 // Remove removes a previously added trunk edge.
 func (s *State) Remove(ch, x1, x2, w int) {
 	x1, x2 = s.span(ch, x1, x2)
+	row := s.rowM(ch)
 	for x := x1; x < x2; x++ {
-		s.dM[ch][x] -= w
-		if s.dM[ch][x] < 0 {
+		row[x] -= int32(w)
+		if row[x] < 0 {
 			panic("density: d_M went negative")
 		}
 	}
@@ -104,8 +125,9 @@ func (s *State) Remove(ch, x1, x2, w int) {
 // d_M; bridges are a subset of all edges).
 func (s *State) AddBridge(ch, x1, x2, w int) {
 	x1, x2 = s.span(ch, x1, x2)
+	row := s.rowm(ch)
 	for x := x1; x < x2; x++ {
-		s.dm[ch][x] += w
+		row[x] += int32(w)
 	}
 	s.touch(ch)
 }
@@ -113,9 +135,10 @@ func (s *State) AddBridge(ch, x1, x2, w int) {
 // RemoveBridge undoes AddBridge.
 func (s *State) RemoveBridge(ch, x1, x2, w int) {
 	x1, x2 = s.span(ch, x1, x2)
+	row := s.rowm(ch)
 	for x := x1; x < x2; x++ {
-		s.dm[ch][x] -= w
-		if s.dm[ch][x] < 0 {
+		row[x] -= int32(w)
+		if row[x] < 0 {
 			panic("density: d_m went negative")
 		}
 	}
@@ -128,6 +151,23 @@ func (s *State) RemoveBridge(ch, x1, x2, w int) {
 func (s *State) touch(ch int) {
 	s.dirty[ch] = true
 	s.version[ch]++
+	if !s.changedMark[ch] {
+		s.changedMark[ch] = true
+		s.changed = append(s.changed, int32(ch))
+	}
+}
+
+// TakeChanged returns the channels whose version moved since the previous
+// call and resets the record. The slice is valid until the next profile
+// mutation (it is reused internally); callers must consume it before
+// touching the state again.
+func (s *State) TakeChanged() []int32 {
+	for _, ch := range s.changed {
+		s.changedMark[ch] = false
+	}
+	out := s.changed
+	s.changed = s.changed[:0]
+	return out
 }
 
 // Version returns a counter that increments on every profile mutation of
@@ -139,9 +179,9 @@ func (s *State) Version(ch int) uint64 { return s.version[ch] }
 // readers may call Channel and Edge freely: nothing mutates until the next
 // Add/Remove. The router calls it before fanning scoring out to workers.
 func (s *State) Flush() {
-	for c := range s.dM {
+	for c := 0; c < s.channels; c++ {
 		if s.dirty[c] {
-			s.stats[c] = computeStats(s.dM[c], s.dm[c])
+			s.stats[c] = computeStats(s.rowM(c), s.rowm(c))
 			s.dirty[c] = false
 		}
 	}
@@ -150,33 +190,32 @@ func (s *State) Flush() {
 // Channel returns the current §3.3 parameters of a channel.
 func (s *State) Channel(ch int) ChannelStats {
 	if s.dirty[ch] {
-		s.stats[ch] = computeStats(s.dM[ch], s.dm[ch])
+		s.stats[ch] = computeStats(s.rowM(ch), s.rowm(ch))
 		s.dirty[ch] = false
 	}
 	return s.stats[ch]
 }
 
-func computeStats(dM, dm []int) ChannelStats {
-	var st ChannelStats
+func computeStats(dM, dm []int32) ChannelStats {
+	// Single max+count pass per profile: when a new max appears the count
+	// restarts at one, so the columns before it never need revisiting.
+	var cM, cm int32
+	var ncM, ncm int
 	for _, v := range dM {
-		if v > st.CM {
-			st.CM = v
+		if v > cM {
+			cM, ncM = v, 1
+		} else if v == cM {
+			ncM++
 		}
 	}
 	for _, v := range dm {
-		if v > st.Cm {
-			st.Cm = v
+		if v > cm {
+			cm, ncm = v, 1
+		} else if v == cm {
+			ncm++
 		}
 	}
-	for i := range dM {
-		if dM[i] == st.CM {
-			st.NCM++
-		}
-		if dm[i] == st.Cm {
-			st.NCm++
-		}
-	}
-	return st
+	return ChannelStats{CM: int(cM), NCM: ncM, Cm: int(cm), NCm: ncm}
 }
 
 // Edge returns the interval parameters of an edge spanning [x1, x2) in the
@@ -194,39 +233,49 @@ func (s *State) Edge(ch, x1, x2 int) EdgeStats {
 	}
 	x1, x2 = s.span(ch, x1, x2)
 	cs := s.Channel(ch)
+	cM, cm := int32(cs.CM), int32(cs.Cm)
+	rowM, rowm := s.rowM(ch), s.rowm(ch)
+	var dMax, dmMax int32
 	var es EdgeStats
 	for x := x1; x < x2; x++ {
-		if v := s.dM[ch][x]; v > es.DM {
-			es.DM = v
+		if v := rowM[x]; v > dMax {
+			dMax = v
 		}
-		if v := s.dm[ch][x]; v > es.Dm {
-			es.Dm = v
+		if v := rowm[x]; v > dmMax {
+			dmMax = v
 		}
-		if s.dM[ch][x] == cs.CM {
+		if rowM[x] == cM {
 			es.NDM++
 		}
-		if s.dm[ch][x] == cs.Cm {
+		if rowm[x] == cm {
 			es.NDm++
 		}
 	}
+	es.DM, es.Dm = int(dMax), int(dmMax)
 	return es
 }
 
 // ProfileM returns a copy of d_M(c, ·) for inspection and Fig. 4 renders.
-func (s *State) ProfileM(ch int) []int { return append([]int(nil), s.dM[ch]...) }
+func (s *State) ProfileM(ch int) []int { return copyRow(s.rowM(ch)) }
 
 // Profilem returns a copy of d_m(c, ·).
-func (s *State) Profilem(ch int) []int { return append([]int(nil), s.dm[ch]...) }
+func (s *State) Profilem(ch int) []int { return copyRow(s.rowm(ch)) }
+
+func copyRow(row []int32) []int {
+	out := make([]int, len(row))
+	for i, v := range row {
+		out[i] = int(v)
+	}
+	return out
+}
 
 // MaxCM returns the largest C_M over all channels and the channel holding
 // it; the router's area-improvement phase targets that channel first.
 func (s *State) MaxCM() (ch, cm int) {
 	ch = -1
-	for c := range s.dM {
+	for c := 0; c < s.channels; c++ {
 		if st := s.Channel(c); st.CM > cm || ch == -1 {
-			if st.CM > cm || ch == -1 {
-				ch, cm = c, st.CM
-			}
+			ch, cm = c, st.CM
 		}
 	}
 	return ch, cm
@@ -236,7 +285,7 @@ func (s *State) MaxCM() (ch, cm int) {
 // the channels if every channel routes in exactly its density.
 func (s *State) TotalTracks() int {
 	sum := 0
-	for c := range s.dM {
+	for c := 0; c < s.channels; c++ {
 		sum += s.Channel(c).CM
 	}
 	return sum

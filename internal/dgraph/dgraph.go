@@ -33,12 +33,22 @@ type Graph struct {
 	Verts []circuit.PinRef
 	Arcs  []Arc
 
-	vidx    map[circuit.PinRef]int
+	vidx    vertIndex
 	out, in [][]int // arc indices per vertex
 	topo    []int   // vertices in topological order
 
 	// netArcs[n] lists the arc indices of net n, in fan-out order.
 	netArcs [][]int
+	// lumpFan/lumpCap/lumpTd are the constant factors of the lumped delay
+	// formula, precomputed per net at build time: the delay for wire
+	// length L is lumpFan[n] + (L·lumpCap[n])·lumpTd[n], the exact
+	// operation order of the original on-the-fly derivation. Deriving them
+	// per call walks the driver and fan-out pin lists (allocating a
+	// terminal slice each time), which the per-deletion timing refresh
+	// cannot afford.
+	lumpFan []float64 // (Σ Fin)·Tf
+	lumpCap []float64 // WireCapPerUm(pitch)
+	lumpTd  []float64 // Td of the driver
 	cons    []consMask
 	// consOfNet[n] lists constraints whose Gd(P) contains an arc of n.
 	consOfNet [][]int
@@ -53,13 +63,63 @@ type consMask struct {
 	sinks    []int
 }
 
+// vertIndex maps terminals to vertex indices without hashing: cell pins
+// live in one flat array addressed by per-cell offsets, external terminals
+// in their own array. -1 marks a terminal with no vertex.
+type vertIndex struct {
+	off  []int32 // per cell: start of its pin row in pins
+	pins []int32 // vertex per (cell, pin)
+	ext  []int32 // vertex per external terminal
+}
+
+func newVertIndex(ckt *circuit.Circuit) vertIndex {
+	vi := vertIndex{off: make([]int32, len(ckt.Cells)+1)}
+	total := 0
+	for ci := range ckt.Cells {
+		vi.off[ci] = int32(total)
+		total += len(ckt.CellTypeOf(ci).Pins)
+	}
+	vi.off[len(ckt.Cells)] = int32(total)
+	vi.pins = make([]int32, total)
+	for i := range vi.pins {
+		vi.pins[i] = -1
+	}
+	vi.ext = make([]int32, len(ckt.Ext))
+	for i := range vi.ext {
+		vi.ext[i] = -1
+	}
+	return vi
+}
+
+func (vi *vertIndex) get(ref circuit.PinRef) int {
+	if ref.IsExt() {
+		if ref.Pin < 0 || ref.Pin >= len(vi.ext) {
+			return -1
+		}
+		return int(vi.ext[ref.Pin])
+	}
+	if ref.Cell < 0 || ref.Cell >= len(vi.off)-1 {
+		return -1
+	}
+	row := vi.pins[vi.off[ref.Cell]:vi.off[ref.Cell+1]]
+	if ref.Pin < 0 || ref.Pin >= len(row) {
+		return -1
+	}
+	return int(row[ref.Pin])
+}
+
+func (vi *vertIndex) set(ref circuit.PinRef, v int) {
+	if ref.IsExt() {
+		vi.ext[ref.Pin] = int32(v)
+		return
+	}
+	vi.pins[vi.off[ref.Cell]+int32(ref.Pin)] = int32(v)
+}
+
 // VertexOf returns the vertex index of a terminal, or -1 if the terminal is
 // unconnected.
 func (g *Graph) VertexOf(ref circuit.PinRef) int {
-	if v, ok := g.vidx[ref]; ok {
-		return v
-	}
-	return -1
+	return g.vidx.get(ref)
 }
 
 // NetArcs returns the arc indices of a net, in fan-out order.
@@ -78,30 +138,77 @@ func (g *Graph) InGd(p, a int) bool {
 // New builds the delay graph. The circuit must validate (in particular the
 // combinational part must be acyclic).
 func New(ckt *circuit.Circuit) (*Graph, error) {
-	g := &Graph{Ckt: ckt, vidx: map[circuit.PinRef]int{}}
+	g := &Graph{Ckt: ckt, vidx: newVertIndex(ckt)}
+	// Size the vertex and arc slices once: vertices are a subset of all
+	// terminals, net arcs number one per non-driving terminal, and cell
+	// arcs are bounded by the per-cell arc lists.
+	maxVerts := len(g.vidx.pins) + len(g.vidx.ext)
+	maxArcs := len(ckt.Ext)
+	for n := range ckt.Nets {
+		maxArcs += len(ckt.Nets[n].Pins)
+	}
+	for ci := range ckt.Cells {
+		maxArcs += len(ckt.CellTypeOf(ci).Arcs)
+	}
+	g.Verts = make([]circuit.PinRef, 0, maxVerts)
+	g.Arcs = make([]Arc, 0, maxArcs)
 	vert := func(ref circuit.PinRef) int {
-		if v, ok := g.vidx[ref]; ok {
+		if v := g.vidx.get(ref); v >= 0 {
 			return v
 		}
 		v := len(g.Verts)
-		g.vidx[ref] = v
+		g.vidx.set(ref, v)
 		g.Verts = append(g.Verts, ref)
 		return v
 	}
 
-	// Net arcs: driver to each fan-out.
+	// Net arcs: driver to each fan-out. The fan-outs are walked in
+	// Terminals order (externals then cell pins, driver skipped) without
+	// materializing the terminal slice; the load sum runs in the same
+	// order so the float result is bit-identical to FanoutLoad.
 	g.netArcs = make([][]int, len(ckt.Nets))
+	g.lumpFan = make([]float64, len(ckt.Nets))
+	g.lumpCap = make([]float64, len(ckt.Nets))
+	g.lumpTd = make([]float64, len(ckt.Nets))
+	netStart := make([]int32, len(ckt.Nets)+1)
 	for n := range ckt.Nets {
+		netStart[n] = int32(len(g.Arcs))
 		drv, err := ckt.Driver(n)
 		if err != nil {
 			return nil, err
 		}
+		tf, td := ckt.DriveOf(drv)
+		g.lumpCap[n] = ckt.Tech.WireCapPerUm(ckt.Nets[n].Pitch)
+		g.lumpTd[n] = td
 		dv := vert(drv)
-		for si, t := range ckt.Fanouts(n) {
-			a := len(g.Arcs)
+		si := 0
+		load := 0.0
+		addSink := func(t circuit.PinRef) {
+			load += ckt.FinOf(t)
 			g.Arcs = append(g.Arcs, Arc{From: dv, To: vert(t), Net: n, Sink: si})
-			g.netArcs[n] = append(g.netArcs[n], a)
+			si++
 		}
+		for i := range ckt.Ext {
+			if ckt.Ext[i].Net == n {
+				if r := circuit.Ext(i); r != drv {
+					addSink(r)
+				}
+			}
+		}
+		for _, p := range ckt.Nets[n].Pins {
+			if p != drv {
+				addSink(p)
+			}
+		}
+		g.lumpFan[n] = load * tf
+	}
+	netStart[len(ckt.Nets)] = int32(len(g.Arcs))
+	arcIdx := make([]int, len(g.Arcs))
+	for a := range arcIdx {
+		arcIdx[a] = a
+	}
+	for n := range ckt.Nets {
+		g.netArcs[n] = arcIdx[netStart[n]:netStart[n+1]:netStart[n+1]]
 	}
 	// Cell arcs, only between connected pins.
 	idx := ckt.BuildPinNetIndex()
@@ -110,21 +217,42 @@ func New(ckt *circuit.Circuit) (*Graph, error) {
 		for _, arc := range ct.Arcs {
 			fr := circuit.PinRef{Cell: ci, Pin: ct.PinIndex(arc.From)}
 			to := circuit.PinRef{Cell: ci, Pin: ct.PinIndex(arc.To)}
-			if _, ok := idx[fr]; !ok {
+			if !idx.Contains(fr) {
 				continue
 			}
-			if _, ok := idx[to]; !ok {
+			if !idx.Contains(to) {
 				continue
 			}
 			g.Arcs = append(g.Arcs, Arc{From: vert(fr), To: vert(to), Net: NoNet, T0: arc.T0})
 		}
 	}
 
+	// Per-vertex arc lists as views into two shared backing arrays: one
+	// counting pass sizes every row, so no per-vertex append-and-regrow.
 	g.out = make([][]int, len(g.Verts))
 	g.in = make([][]int, len(g.Verts))
+	outDeg := make([]int32, len(g.Verts))
+	inDeg := make([]int32, len(g.Verts))
 	for a := range g.Arcs {
-		g.out[g.Arcs[a].From] = append(g.out[g.Arcs[a].From], a)
-		g.in[g.Arcs[a].To] = append(g.in[g.Arcs[a].To], a)
+		outDeg[g.Arcs[a].From]++
+		inDeg[g.Arcs[a].To]++
+	}
+	outIdx := make([]int, len(g.Arcs))
+	inIdx := make([]int, len(g.Arcs))
+	off := 0
+	for v := range g.out {
+		g.out[v] = outIdx[off : off : off+int(outDeg[v])]
+		off += int(outDeg[v])
+	}
+	off = 0
+	for v := range g.in {
+		g.in[v] = inIdx[off : off : off+int(inDeg[v])]
+		off += int(inDeg[v])
+	}
+	for a := range g.Arcs {
+		f, t := g.Arcs[a].From, g.Arcs[a].To
+		g.out[f] = append(g.out[f], a)
+		g.in[t] = append(g.in[t], a)
 	}
 	if err := g.toposort(); err != nil {
 		return nil, err
@@ -246,12 +374,11 @@ func (g *Graph) Reachable(from circuit.PinRef) []bool {
 
 // LumpedArcDelay returns the net-arc delay of the lumped capacitance model
 // for the given estimated wire length (µm): (Σ Fin)·Tf + CL·Td, shared by
-// every sink of the net.
+// every sink of the net. Both factors are precomputed at build time, so
+// this is two FLOPs — it sits inside the candidate-scoring inner loop.
 func (g *Graph) LumpedArcDelay(net int, wirelenUm float64) float64 {
-	drv, _ := g.Ckt.Driver(net)
-	tf, td := g.Ckt.DriveOf(drv)
-	cl := wirelenUm * g.Ckt.Tech.WireCapPerUm(g.Ckt.Nets[net].Pitch)
-	return g.Ckt.FanoutLoad(net)*tf + cl*td
+	cl := wirelenUm * g.lumpCap[net]
+	return g.lumpFan[net] + cl*g.lumpTd[net]
 }
 
 // Timing holds arc delays plus per-constraint longest-path results. Create
@@ -282,6 +409,10 @@ type Timing struct {
 
 	// refF is the graph-sized scratch of ReferenceWorst.
 	refF []float64
+
+	// fb is the reusable parallel-flush batch (see subgraph.go); keeping
+	// it on the Timing means the fan-out path allocates nothing.
+	fb flushBatch
 }
 
 // ConsTiming is the analysis of one constraint P.

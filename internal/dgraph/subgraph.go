@@ -22,6 +22,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/workpool"
 )
 
 // subArc is one arc of a compact constraint subgraph, with its endpoints
@@ -278,11 +280,34 @@ func (t *Timing) MarkAll() {
 // subgraph walks.
 const flushParallelMin = 8
 
+// flushBatch is the Timing's reusable workpool task: each of the w Run
+// calls claims dirty-constraint indices from the shared counter until the
+// batch is drained. Constraints write disjoint ConsTiming slots, so which
+// worker analyzes which constraint cannot affect the result.
+type flushBatch struct {
+	t    *Timing
+	ps   []int
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+func (b *flushBatch) Run() {
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= len(b.ps) {
+			b.wg.Done()
+			return
+		}
+		b.t.analyzeOne(b.ps[i])
+	}
+}
+
 // Flush re-analyzes exactly the constraints marked dirty since the last
 // Flush and returns their indices in ascending order (the slice is reused
-// by the next Flush). Large batches fan out over Workers; each constraint
-// writes only its own ConsTiming slot and the returned order is fixed, so
-// the outcome is byte-identical for every worker count.
+// by the next Flush). Large batches fan out over Workers on the shared
+// workpool — no goroutine or closure is allocated per call; each
+// constraint writes only its own ConsTiming slot and the returned order is
+// fixed, so the outcome is byte-identical for every worker count.
 func (t *Timing) Flush() []int {
 	if t.dirtyCount == 0 {
 		return nil
@@ -297,22 +322,12 @@ func (t *Timing) Flush() []int {
 	t.dirtyCount = 0
 	t.flushBuf = ps
 	if w := t.flushWorkers(len(ps)); w > 1 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for i := 0; i < w; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(ps) {
-						return
-					}
-					t.analyzeOne(ps[i])
-				}
-			}()
-		}
-		wg.Wait()
+		b := &t.fb
+		b.t, b.ps = t, ps
+		b.next.Store(0)
+		b.wg.Add(w)
+		workpool.Submit(b, w)
+		b.wg.Wait()
 	} else {
 		for _, p := range ps {
 			t.analyzeOne(p)

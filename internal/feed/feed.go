@@ -300,7 +300,14 @@ func (p *pass) findGroup(row, width, target, flagWidth int) int {
 func FindGroup(geo *grid.Geometry, occupied func(row, col int) bool, row, width, target, flagWidth int, respectFlags bool) int {
 	slots := geo.FeedSlots(row)
 	bestCol, bestDist := -1, math.MaxInt32
+	centerOff := (width - 1) / 2
 	for i := 0; i+width <= len(slots); i++ {
+		// Slots ascend by column, so window centers only move right; once
+		// a center sits bestDist or more past the target nothing later can
+		// beat the strict < below, and the right tail need not be scanned.
+		if bestCol >= 0 && slots[i].Col+centerOff-target >= bestDist {
+			break
+		}
 		ok := true
 		for j := 0; j < width; j++ {
 			s := slots[i+j]

@@ -645,11 +645,11 @@ func (g *builder) constraints() error {
 	for _, cell := range g.dffs {
 		ct := ckt.CellTypeOf(cell)
 		q := circuit.PinRef{Cell: cell, Pin: ct.PinIndex("Q")}
-		if _, ok := idx[q]; ok {
+		if idx.Contains(q) {
 			sources = append(sources, q)
 		}
 		d := circuit.PinRef{Cell: cell, Pin: ct.PinIndex("D")}
-		if _, ok := idx[d]; ok {
+		if idx.Contains(d) {
 			sinks = append(sinks, d)
 		}
 	}

@@ -7,7 +7,7 @@ package grid
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/circuit"
 )
@@ -59,7 +59,7 @@ func New(ckt *circuit.Circuit) (*Geometry, error) {
 		}
 	}
 	for r := range g.Feeds {
-		sort.Slice(g.Feeds[r], func(i, j int) bool { return g.Feeds[r][i].Col < g.Feeds[r][j].Col })
+		slices.SortFunc(g.Feeds[r], func(a, b FeedSlot) int { return a.Col - b.Col })
 	}
 	return g, nil
 }
@@ -180,7 +180,7 @@ func InsertFeedCells(ckt *circuit.Circuit, groups []FeedGroupSpec) (*circuit.Cir
 				rowCells = append(rowCells, i)
 			}
 		}
-		sort.Slice(rowCells, func(i, j int) bool { return out.Cells[rowCells[i]].Col < out.Cells[rowCells[j]].Col })
+		slices.SortFunc(rowCells, func(a, b int) int { return out.Cells[a].Col - out.Cells[b].Col })
 
 		// Choose evenly spaced target columns and snap to the nearest
 		// legal gap; process left to right so shifts accumulate simply.
@@ -224,7 +224,11 @@ func InsertFeedCells(ckt *circuit.Circuit, groups []FeedGroupSpec) (*circuit.Cir
 			}
 		}
 	}
-	if err := out.Validate(); err != nil {
+	// Insertion only moves cells and widens the chip; the netlist is
+	// untouched, so the geometric recheck is sufficient (and this runs
+	// inside the feed-assignment search loop, where the full Validate
+	// dominated the profile).
+	if err := out.ValidateGeometry(); err != nil {
 		return nil, nil, fmt.Errorf("grid: insertion produced invalid circuit: %w", err)
 	}
 	return out, insertedCols, nil
@@ -246,28 +250,25 @@ func feedTypeIndex(ckt *circuit.Circuit) int {
 // spans across it (cell.Col < c < cell.Col+width). rowCells are the indices
 // of the row's cells sorted by column.
 func snapToGap(ckt *circuit.Circuit, rowCells []int, target int) int {
-	legal := func(c int) bool {
-		if c < 0 {
-			return false
-		}
-		for _, idx := range rowCells {
-			cell := &ckt.Cells[idx]
-			w := ckt.Lib[cell.Type].Width
-			if cell.Col < c && c < cell.Col+w {
-				return false
-			}
-		}
-		return true
-	}
 	if target < 0 {
 		target = 0
 	}
-	for d := 0; ; d++ {
-		if legal(target + d) {
-			return target + d
-		}
-		if target-d >= 0 && legal(target-d) {
-			return target - d
+	// Cells of a row never overlap, so at most one spans across the
+	// target; its two edges are then the nearest legal columns on either
+	// side (abutting neighbours end exactly at an edge, never across it).
+	// One pass over the row replaces the probe-per-column search, which
+	// re-scanned every cell at each probe distance.
+	for _, idx := range rowCells {
+		cell := &ckt.Cells[idx]
+		w := ckt.Lib[cell.Type].Width
+		if cell.Col < target && target < cell.Col+w {
+			left, right := cell.Col, cell.Col+w
+			// Ties go right, matching the old search's +d-before-−d order.
+			if right-target <= target-left {
+				return right
+			}
+			return left
 		}
 	}
+	return target
 }

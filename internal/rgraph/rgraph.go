@@ -101,7 +101,10 @@ type Graph struct {
 
 	Verts []Vertex
 	Edges []Edge
-	adj   [][]int // edge ids per vertex (dead edges included; filter on Alive)
+	adj   [][]int32 // edge ids per vertex (dead edges included; filter on Alive)
+	// adjBack is the shared backing array the adj rows are views into,
+	// filled by buildAdj once per (re)build.
+	adjBack []int32
 
 	// TermVert[i] is the vertex of terminal i (driver first, as returned
 	// by circuit.Terminals).
@@ -109,9 +112,10 @@ type Graph struct {
 
 	alive int // count of alive edges
 
-	// ws is the reusable shortest-path workspace. It makes Tentative and
-	// LengthExcluding allocation-light but also makes a Graph unsafe for
-	// concurrent use; callers must shard work per graph.
+	// ws is the reusable shortest-path/bridge/prune workspace, sized once
+	// at Build. It makes the per-deletion loop allocation-free but also
+	// makes a Graph unsafe for concurrent use; callers must shard work per
+	// graph.
 	ws dijkstraWS
 }
 
@@ -119,38 +123,73 @@ type Graph struct {
 // feedthrough list must cover every row between the lowest and highest
 // channel the net's terminals touch.
 func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (*Graph, error) {
-	terms := ckt.Terminals(net)
+	return BuildInto(nil, ckt, geo, net, feeds)
+}
+
+// BuildInto is Build reusing a recycled Graph's storage (vertex, edge,
+// adjacency and workspace arrays) when recycled is non-nil. The reroute
+// search builds and discards candidate graphs in a loop; recycling them
+// keeps that path off the allocator. recycled must not be in use anywhere
+// else — its previous contents are destroyed.
+func BuildInto(recycled *Graph, ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (*Graph, error) {
+	g := recycled
+	if g == nil {
+		g = &Graph{}
+	}
+	terms := ckt.AppendTerminals(g.ws.terms[:0], net)
+	g.ws.terms = terms
 	if len(terms) < 2 {
 		return nil, fmt.Errorf("rgraph: net %q has %d terminals", ckt.Nets[net].Name, len(terms))
 	}
-	g := &Graph{Net: net, Pitch: ckt.Nets[net].Pitch}
+	g.Net, g.Pitch = net, ckt.Nets[net].Pitch
+	g.Verts = g.Verts[:0]
+	g.Edges = g.Edges[:0]
+	g.TermVert = g.TermVert[:0]
+	g.adj = g.adj[:0]
+	g.alive = 0
 
-	// Collect spine points per channel — every terminal position column and
-	// both endpoints of every feedthrough — as a sorted, deduplicated
-	// (channel, column) list. Spine vertices are created in that order, so
-	// later lookups are binary searches instead of map probes (Build runs
-	// once per net at setup and again on every reroute rebuild).
-	spines := make([]spinePt, 0, 4*len(feeds)+8)
-	minCh, maxCh := math.MaxInt32, -1
+	// Collect the per-terminal positions once, then the spine points per
+	// channel — every terminal position column and both endpoints of every
+	// feedthrough — as a sorted, deduplicated (channel, column) list.
+	// Spine vertices are created in that order, so later lookups are
+	// binary searches instead of map probes (Build runs once per net at
+	// setup and again on every reroute rebuild).
+	posBuf, posOff := g.ws.posBuf[:0], g.ws.posOff[:0]
 	for _, t := range terms {
-		for _, pos := range ckt.PositionsOf(t) {
-			spines = append(spines, spinePt{pos.Channel, pos.Col})
-			if pos.Channel < minCh {
-				minCh = pos.Channel
-			}
-			if pos.Channel > maxCh {
-				maxCh = pos.Channel
-			}
+		posOff = append(posOff, int32(len(posBuf)))
+		posBuf = ckt.AppendPositionsOf(posBuf, t)
+	}
+	posOff = append(posOff, int32(len(posBuf)))
+	g.ws.posBuf, g.ws.posOff = posBuf, posOff
+	spines := g.ws.spines[:0]
+	minCh, maxCh := math.MaxInt32, -1
+	for _, pos := range posBuf {
+		spines = append(spines, spinePt{pos.Channel, pos.Col})
+		if pos.Channel < minCh {
+			minCh = pos.Channel
+		}
+		if pos.Channel > maxCh {
+			maxCh = pos.Channel
 		}
 	}
-	covered := make([]bool, ckt.Rows)
+	covered := g.ws.covered
+	if cap(covered) < ckt.Rows {
+		covered = make([]bool, ckt.Rows)
+	}
+	covered = covered[:ckt.Rows]
+	for i := range covered {
+		covered[i] = false
+	}
+	g.ws.covered = covered
 	for _, f := range feeds {
 		if f.Row < 0 || f.Row >= ckt.Rows {
+			g.ws.spines = spines
 			return nil, fmt.Errorf("rgraph: net %q feedthrough row %d out of range", ckt.Nets[net].Name, f.Row)
 		}
 		spines = append(spines, spinePt{f.Row, f.Col}, spinePt{f.Row + 1, f.Col})
 		covered[f.Row] = true
 	}
+	g.ws.spines = spines
 	for r := minCh; r < maxCh; r++ {
 		if !covered[r] {
 			return nil, fmt.Errorf("rgraph: net %q crosses row %d but has no feedthrough there", ckt.Nets[net].Name, r)
@@ -163,6 +202,20 @@ func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (
 		return spines[i].col < spines[j].col
 	})
 	spines = dedupSpines(spines)
+	g.ws.spines = spines
+	// Reserve the vertex, edge and adjacency arrays in one shot so a fresh
+	// build does not regrow them append by append.
+	needV := len(spines) + len(terms) + len(posBuf)
+	needE := len(spines) + len(feeds) + 2*len(posBuf)
+	if cap(g.Verts) < needV {
+		g.Verts = make([]Vertex, 0, needV)
+	}
+	if cap(g.Edges) < needE {
+		g.Edges = make([]Edge, 0, needE)
+	}
+	if cap(g.TermVert) < len(terms) {
+		g.TermVert = make([]int, 0, len(terms))
+	}
 	// spineVert answers (channel, col) → vertex; spine vertex ids are
 	// allocated first and in spines order.
 	spineVert := func(ch, col int) int {
@@ -195,8 +248,8 @@ func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (
 		})
 	}
 	// Terminal, position vertices; correspondence and branch edges.
-	for ti, t := range terms {
-		positions := ckt.PositionsOf(t)
+	for ti := range terms {
+		positions := posBuf[posOff[ti]:posOff[ti+1]]
 		tv := g.addVertex(Vertex{Kind: VTerm, Term: ti, Ch: positions[0].Channel, Col: positions[0].Col})
 		g.TermVert = append(g.TermVert, tv)
 		for _, pos := range positions {
@@ -206,6 +259,8 @@ func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (
 			g.addEdge(Edge{U: pv, V: sv, Kind: EBranch, Ch: pos.Channel, X1: pos.Col, X2: pos.Col, Len: ckt.Tech.BranchLen})
 		}
 	}
+	g.buildAdj()
+	g.ws.init(g)
 	if !g.connectedFromAlive() {
 		return nil, fmt.Errorf("rgraph: net %q routing graph is disconnected", ckt.Nets[net].Name)
 	}
@@ -232,7 +287,6 @@ func dedupSpines(s []spinePt) []spinePt {
 
 func (g *Graph) addVertex(v Vertex) int {
 	g.Verts = append(g.Verts, v)
-	g.adj = append(g.adj, nil)
 	return len(g.Verts) - 1
 }
 
@@ -243,24 +297,62 @@ func (g *Graph) addEdge(e Edge) int {
 	e.Alive = true
 	id := len(g.Edges)
 	g.Edges = append(g.Edges, e)
-	g.adj[e.U] = append(g.adj[e.U], id)
-	g.adj[e.V] = append(g.adj[e.V], id)
 	g.alive++
 	return id
 }
 
+// buildAdj fills the per-vertex incidence lists as views into one shared
+// backing array, in edge-id order per vertex — the same order incremental
+// appends during construction would produce, with two allocations instead
+// of one per vertex.
+func (g *Graph) buildAdj() {
+	nv := len(g.Verts)
+	if cap(g.adj) < nv {
+		g.adj = make([][]int32, 0, nv)
+	}
+	g.adj = g.adj[:nv]
+	deg := g.ws.degBuf
+	if cap(deg) < nv {
+		deg = make([]int32, nv)
+	}
+	deg = deg[:nv]
+	for v := range deg {
+		deg[v] = 0
+	}
+	g.ws.degBuf = deg
+	for e := range g.Edges {
+		deg[g.Edges[e].U]++
+		deg[g.Edges[e].V]++
+	}
+	need := 2 * len(g.Edges)
+	if cap(g.adjBack) < need {
+		g.adjBack = make([]int32, need)
+	}
+	back := g.adjBack[:0]
+	off := 0
+	for v := 0; v < nv; v++ {
+		g.adj[v] = back[off : off : off+int(deg[v])]
+		off += int(deg[v])
+	}
+	for e := range g.Edges {
+		g.adj[g.Edges[e].U] = append(g.adj[g.Edges[e].U], int32(e))
+		g.adj[g.Edges[e].V] = append(g.adj[g.Edges[e].V], int32(e))
+	}
+}
+
 // Clone deep-copies the graph (used by ECO re-optimization so the new
-// routing can diverge without touching the old result). The clone starts
-// with a fresh shortest-path workspace: sharing one would race.
+// routing can diverge without touching the old result). The clone gets a
+// fresh shortest-path workspace: sharing one would race.
 func (g *Graph) Clone() *Graph {
 	ng := &Graph{Net: g.Net, Pitch: g.Pitch, alive: g.alive}
 	ng.Verts = append([]Vertex(nil), g.Verts...)
 	ng.Edges = append([]Edge(nil), g.Edges...)
 	ng.TermVert = append([]int(nil), g.TermVert...)
-	ng.adj = make([][]int, len(g.adj))
+	ng.adj = make([][]int32, len(g.adj))
 	for v := range g.adj {
-		ng.adj[v] = append([]int(nil), g.adj[v]...)
+		ng.adj[v] = append([]int32(nil), g.adj[v]...)
 	}
+	ng.ws.init(ng)
 	return ng
 }
 
@@ -278,15 +370,21 @@ func (g *Graph) AliveEdges() []int {
 // NonBridges returns the ids of alive non-bridge edges: the deletion
 // candidates N_b of the paper's initial routing loop.
 func (g *Graph) NonBridges() []int {
-	return g.AppendNonBridges(nil)
+	var out []int
+	for i := range g.Edges {
+		if g.Edges[i].Alive && !g.Edges[i].Bridge {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // AppendNonBridges appends the alive non-bridge edge ids to dst and
-// returns it, letting hot callers reuse a scratch buffer.
-func (g *Graph) AppendNonBridges(dst []int) []int {
+// returns it, letting hot callers reuse a compact scratch buffer.
+func (g *Graph) AppendNonBridges(dst []int32) []int32 {
 	for i := range g.Edges {
 		if g.Edges[i].Alive && !g.Edges[i].Bridge {
-			dst = append(dst, i)
+			dst = append(dst, int32(i))
 		}
 	}
 	return dst
@@ -300,6 +398,14 @@ func (g *Graph) other(e, v int) int {
 		return g.Edges[e].V
 	}
 	return g.Edges[e].U
+}
+
+// other32 is other over the compact int32 ids the hot loops traffic in.
+func (g *Graph) other32(e, v int32) int32 {
+	if int32(g.Edges[e].U) == v {
+		return int32(g.Edges[e].V)
+	}
+	return int32(g.Edges[e].U)
 }
 
 func (g *Graph) degree(v int) int {
@@ -344,7 +450,7 @@ func (g *Graph) connectedFromAlive() bool {
 			if !g.Edges[e].Alive {
 				continue
 			}
-			w := g.other(e, v)
+			w := g.other(int(e), v)
 			if !seen[w] {
 				seen[w] = true
 				count++
@@ -357,13 +463,15 @@ func (g *Graph) connectedFromAlive() bool {
 
 // RecomputeBridges runs a DFS lowlink pass over the alive edges and updates
 // every edge's Bridge flag. It returns the ids of edges whose flag flipped,
-// so the caller can update the d_m density profile incrementally.
+// so the caller can update the d_m density profile incrementally. The
+// returned slice is workspace-backed: it is valid until the next
+// RecomputeBridges call on this graph and must not be retained.
 func (g *Graph) RecomputeBridges() (flipped []int) {
 	n := len(g.Verts)
 	w := &g.ws
 	if len(w.disc) < n {
-		w.disc = make([]int, n)
-		w.low = make([]int, n)
+		w.disc = make([]int32, n)
+		w.low = make([]int32, n)
 	}
 	if len(w.newBridge) < len(g.Edges) {
 		w.newBridge = make([]bool, len(g.Edges))
@@ -376,7 +484,7 @@ func (g *Graph) RecomputeBridges() (flipped []int) {
 	for i := range newBridge {
 		newBridge[i] = false
 	}
-	timer := 0
+	var timer int32
 
 	stack := w.frames[:0]
 	for s := 0; s < n; s++ {
@@ -386,23 +494,23 @@ func (g *Graph) RecomputeBridges() (flipped []int) {
 		disc[s] = timer
 		low[s] = timer
 		timer++
-		stack = append(stack[:0], bridgeFrame{v: s, parentEdge: -1})
+		stack = append(stack[:0], bridgeFrame{v: int32(s), parentEdge: -1})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.idx < len(g.adj[f.v]) {
+			if int(f.idx) < len(g.adj[f.v]) {
 				e := g.adj[f.v][f.idx]
 				f.idx++
 				if !g.Edges[e].Alive || e == f.parentEdge {
 					continue
 				}
-				w := g.other(e, f.v)
-				if disc[w] == -1 {
-					disc[w] = timer
-					low[w] = timer
+				u := g.other32(e, f.v)
+				if disc[u] == -1 {
+					disc[u] = timer
+					low[u] = timer
 					timer++
-					stack = append(stack, bridgeFrame{v: w, parentEdge: e})
-				} else if disc[w] < low[f.v] {
-					low[f.v] = disc[w]
+					stack = append(stack, bridgeFrame{v: u, parentEdge: e})
+				} else if disc[u] < low[f.v] {
+					low[f.v] = disc[u]
 				}
 				continue
 			}
@@ -421,21 +529,24 @@ func (g *Graph) RecomputeBridges() (flipped []int) {
 		}
 	}
 	w.frames = stack[:0]
+	w.flipped = w.flipped[:0]
 	for i := range g.Edges {
 		if !g.Edges[i].Alive {
 			continue
 		}
 		if g.Edges[i].Bridge != newBridge[i] {
 			g.Edges[i].Bridge = newBridge[i]
-			flipped = append(flipped, i)
+			w.flipped = append(w.flipped, i)
 		}
 	}
-	return flipped
+	return w.flipped
 }
 
 // Delete kills a non-bridge edge and prunes any dangling non-terminal stubs
 // it exposes. It returns every edge removed (the edge itself first). The
-// caller is responsible for recomputing bridges afterwards.
+// caller is responsible for recomputing bridges afterwards. The returned
+// slice is workspace-backed: it is valid until the next Delete call on this
+// graph and must not be retained.
 func (g *Graph) Delete(e int) ([]int, error) {
 	if e < 0 || e >= len(g.Edges) {
 		return nil, fmt.Errorf("rgraph: edge %d out of range", e)
@@ -448,8 +559,9 @@ func (g *Graph) Delete(e int) ([]int, error) {
 	}
 	g.Edges[e].Alive = false
 	g.alive--
-	removed := []int{e}
+	removed := append(g.ws.removed[:0], e)
 	removed = g.Prune(removed)
+	g.ws.removed = removed
 	return removed, nil
 }
 
@@ -457,16 +569,16 @@ func (g *Graph) Delete(e int) ([]int, error) {
 // vertices (dangling stubs that cannot carry any connection). Removed edge
 // ids are appended to acc, which is returned.
 func (g *Graph) Prune(acc []int) []int {
-	queue := make([]int, 0, 8)
+	queue := g.ws.pruneq[:0]
 	for v := range g.Verts {
 		if g.Verts[v].Kind != VTerm && g.degree(v) == 1 {
-			queue = append(queue, v)
+			queue = append(queue, int32(v))
 		}
 	}
 	for len(queue) > 0 {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		if g.Verts[v].Kind == VTerm || g.degree(v) != 1 {
+		if g.Verts[v].Kind == VTerm || g.degree(int(v)) != 1 {
 			continue
 		}
 		for _, e := range g.adj[v] {
@@ -475,21 +587,27 @@ func (g *Graph) Prune(acc []int) []int {
 			}
 			g.Edges[e].Alive = false
 			g.alive--
-			acc = append(acc, e)
-			w := g.other(e, v)
-			if g.Verts[w].Kind != VTerm && g.degree(w) == 1 {
-				queue = append(queue, w)
+			acc = append(acc, int(e))
+			u := g.other32(e, v)
+			if g.Verts[u].Kind != VTerm && g.degree(int(u)) == 1 {
+				queue = append(queue, u)
 			}
 			break
 		}
 	}
+	g.ws.pruneq = queue[:0]
 	return acc
 }
 
 // IsTree reports whether the alive graph is a tree over its touched
 // vertices (the initial-routing termination condition: no cycles left).
 func (g *Graph) IsTree() bool {
-	return len(g.NonBridges()) == 0
+	for i := range g.Edges {
+		if g.Edges[i].Alive && !g.Edges[i].Bridge {
+			return false
+		}
+	}
+	return true
 }
 
 // Validate checks internal invariants; used by tests and the router's

@@ -1,9 +1,9 @@
 package rgraph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/circuit"
 )
@@ -22,59 +22,188 @@ type Tree struct {
 	SinkDist []float64
 }
 
+// treePool recycles Tree objects (and their slice storage) so callers that
+// do not hold a previous tree to reuse still avoid a fresh allocation per
+// tentative-tree computation.
+var treePool = sync.Pool{New: func() any { return new(Tree) }}
+
+// GetTree returns a Tree from the package pool. Its slices keep whatever
+// capacity they had when released; the tentative-tree writers reslice and
+// overwrite them fully.
+func GetTree() *Tree { return treePool.Get().(*Tree) }
+
+// PutTree releases a Tree back to the pool. The caller must not retain any
+// reference to the tree or its slices afterwards.
+func PutTree(t *Tree) {
+	if t != nil {
+		treePool.Put(t)
+	}
+}
+
+// pqItem is one binary-heap entry of the Dijkstra priority queue.
 type pqItem struct {
-	v    int
+	v    int32
 	dist float64
 }
 
+// pq is a hand-rolled binary min-heap over pqItem. container/heap would
+// box every Push/Pop through an interface value, allocating on each edge
+// relaxation of the hot d'(e) loop; this keeps the queue a flat slice.
 type pq []pqItem
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; x := old[len(old)-1]; *q = old[:len(old)-1]; return x }
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	s := *q
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].dist <= s[i].dist {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
 
-// dijkstraWS is a per-graph scratch space reused across shortest-path
-// runs, so the router's hot d'(e) loop does not allocate. Vertex state is
-// invalidated in O(1) by bumping a generation counter; entries are live
+func (q *pq) pop() pqItem {
+	s := *q
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*q = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].dist < s[l].dist {
+			m = r
+		}
+		if s[i].dist <= s[m].dist {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// dijkstraWS is the per-graph scratch space reused across every hot
+// per-deletion computation: Dijkstra shortest paths, bridge recomputation,
+// prune sweeps and Elmore walks. It is sized once when the graph is built
+// (initWS), so the steady-state route loop never calls make. Vertex state
+// is invalidated in O(1) by bumping a generation counter; entries are live
 // only when their stamp matches the current generation. A Graph's methods
 // share this workspace, so a Graph must not be used from two goroutines
 // concurrently (the router shards work by net, which guarantees that).
 type dijkstraWS struct {
 	dist  []float64
-	prev  []int // edge id arriving at v on the shortest path, -1 for source
+	prev  []int32 // edge id arriving at v on the shortest path, -1 for source
 	stamp []uint32
 	gen   uint32
 	q     pq
+
+	// isTerm flags terminal vertices; doneStamp marks terminals finalized
+	// (popped) this generation. Dijkstra stops once every terminal is
+	// finalized: distances and prev chains of shortest terminal paths are
+	// final at that point, so the tail of the search changes nothing the
+	// callers read.
+	isTerm    []bool
+	doneStamp []uint32
 
 	edgeStamp []uint32 // tree-union membership stamps for lengthExcluding
 	edgeGen   uint32
 
 	// RecomputeBridges scratch (same single-goroutine-per-graph contract).
-	disc, low []int
+	disc, low []int32
 	newBridge []bool
 	frames    []bridgeFrame
+	flipped   []int // RecomputeBridges result buffer, overwritten per call
+
+	// Delete/Prune scratch. removed is the result buffer returned by
+	// Delete (overwritten by the next Delete on this graph); pruneq is the
+	// dangling-stub work list.
+	removed []int
+	pruneq  []int32
+
+	// Build scratch: the sorted spine-point list, the per-row
+	// feedthrough-coverage marks, and the terminal/position buffers, all
+	// reused across BuildInto rebuilds. posOff[i]:posOff[i+1] delimits
+	// terminal i's positions within posBuf.
+	spines  []spinePt
+	covered []bool
+	terms   []circuit.PinRef
+	posBuf  []circuit.Position
+	posOff  []int32
+	degBuf  []int32 // buildAdj per-vertex degree counts
+
+	// Elmore-walk scratch (ElmoreDelays): CSR tree adjacency plus the
+	// capacitance/delay arrays, all vertex- or edge-sized.
+	elmStart  []int32
+	elmEdges  []int32
+	elmParent []int32
+	elmOrder  []int32
+	elmCapPin []float64
+	elmCapSub []float64
+	elmDelay  []float64
 }
 
 // bridgeFrame is one explicit-stack DFS frame of RecomputeBridges.
 type bridgeFrame struct {
-	v, parentEdge int
-	idx           int
+	v, parentEdge int32
+	idx           int32
+}
+
+// init sizes every workspace array to the graph and records its terminal
+// set. Build and Clone call it once; after that the per-deletion loop only
+// reslices.
+func (w *dijkstraWS) init(g *Graph) {
+	nV, nE := len(g.Verts), len(g.Edges)
+	if cap(w.dist) < nV {
+		w.dist = make([]float64, nV)
+		w.prev = make([]int32, nV)
+		w.stamp = make([]uint32, nV)
+		w.doneStamp = make([]uint32, nV)
+		w.disc = make([]int32, nV)
+		w.low = make([]int32, nV)
+		w.gen = 0
+	}
+	if cap(w.isTerm) < nV {
+		w.isTerm = make([]bool, nV)
+	}
+	w.isTerm = w.isTerm[:nV]
+	for i := range w.isTerm {
+		w.isTerm[i] = false
+	}
+	for _, tv := range g.TermVert {
+		w.isTerm[tv] = true
+	}
+	if cap(w.newBridge) < nE {
+		w.newBridge = make([]bool, nE)
+	}
+	if cap(w.edgeStamp) < nE {
+		w.edgeStamp = make([]uint32, nE)
+		w.edgeGen = 0
+	}
 }
 
 // reset sizes the workspace to the graph and starts a fresh generation.
 func (w *dijkstraWS) reset(nVerts int) {
 	if len(w.dist) < nVerts {
 		w.dist = make([]float64, nVerts)
-		w.prev = make([]int, nVerts)
+		w.prev = make([]int32, nVerts)
 		w.stamp = make([]uint32, nVerts)
+		w.doneStamp = make([]uint32, nVerts)
 		w.gen = 0
 	}
 	w.gen++
 	if w.gen == 0 { // stamp wrap: re-zero so stale stamps cannot match
 		for i := range w.stamp {
 			w.stamp[i] = 0
+			w.doneStamp[i] = 0
 		}
 		w.gen = 1
 	}
@@ -82,21 +211,21 @@ func (w *dijkstraWS) reset(nVerts int) {
 }
 
 // distAt reads v's tentative distance, +Inf when untouched this run.
-func (w *dijkstraWS) distAt(v int) float64 {
+func (w *dijkstraWS) distAt(v int32) float64 {
 	if w.stamp[v] == w.gen {
 		return w.dist[v]
 	}
 	return math.Inf(1)
 }
 
-func (w *dijkstraWS) set(v int, d float64, prevEdge int) {
+func (w *dijkstraWS) set(v int32, d float64, prevEdge int32) {
 	w.dist[v] = d
 	w.prev[v] = prevEdge
 	w.stamp[v] = w.gen
 }
 
 // prevAt reads v's arrival edge, -1 when v was never reached.
-func (w *dijkstraWS) prevAt(v int) int {
+func (w *dijkstraWS) prevAt(v int32) int32 {
 	if w.stamp[v] == w.gen {
 		return w.prev[v]
 	}
@@ -118,13 +247,14 @@ func (w *dijkstraWS) markEdges(nEdges int) {
 	}
 }
 
-func (w *dijkstraWS) edgeMarked(e int) bool { return w.edgeStamp[e] == w.edgeGen }
-func (w *dijkstraWS) markEdge(e int)        { w.edgeStamp[e] = w.edgeGen }
+func (w *dijkstraWS) edgeMarked(e int32) bool { return w.edgeStamp[e] == w.edgeGen }
+func (w *dijkstraWS) markEdge(e int32)        { w.edgeStamp[e] = w.edgeGen }
 
 // Tentative computes the tentative tree with Dijkstra's shortest-path
-// algorithm from the driving terminal (paper §3.2).
+// algorithm from the driving terminal (paper §3.2). The returned tree
+// comes from the package pool; callers done with it may PutTree it back.
 func (g *Graph) Tentative() (*Tree, error) {
-	return g.tentative(-1)
+	return g.tentativeCostInto(-1, nil, GetTree())
 }
 
 // TentativeInto is Tentative reusing a previous tree's storage (prev may
@@ -164,17 +294,18 @@ func (g *Graph) LengthExcluding(skip int) (float64, error) {
 	w.markEdges(len(g.Edges))
 	var length float64
 	for ti, tv := range g.TermVert {
-		if math.IsInf(w.distAt(tv), 1) {
+		v := int32(tv)
+		if math.IsInf(w.distAt(v), 1) {
 			return 0, fmt.Errorf("rgraph: terminal %d unreachable from driver", ti)
 		}
-		for v := tv; w.prevAt(v) != -1; {
+		for w.prevAt(v) != -1 {
 			e := w.prevAt(v)
 			if w.edgeMarked(e) {
 				break // the rest of the path is already in the union
 			}
 			w.markEdge(e)
 			length += g.Edges[e].Len
-			v = g.other(e, v)
+			v = g.other32(e, v)
 		}
 	}
 	return length, nil
@@ -186,30 +317,40 @@ func (g *Graph) tentative(skip int) (*Tree, error) {
 
 // runDijkstra fills the workspace with shortest paths from the driving
 // terminal over the alive edges (minus skip), under the given edge cost
-// (nil means physical length).
+// (nil means physical length). The search stops as soon as every terminal
+// is finalized: with non-negative costs, a finalized vertex's distance and
+// arrival edge can never change, and every vertex on a shortest terminal
+// path has distance ≤ the terminal's, so the prev chains the callers walk
+// are already final — the skipped tail of the search only settles vertices
+// no terminal path runs through.
 func (g *Graph) runDijkstra(skip int, cost func(e int) float64) {
 	w := &g.ws
 	w.reset(len(g.Verts))
-	src := g.TermVert[0]
+	src := int32(g.TermVert[0])
 	w.set(src, 0, -1)
-	w.q = append(w.q, pqItem{v: src, dist: 0})
-	for len(w.q) > 0 {
-		it := heap.Pop(&w.q).(pqItem)
+	w.q.push(pqItem{v: src, dist: 0})
+	remaining := len(g.TermVert)
+	for len(w.q) > 0 && remaining > 0 {
+		it := w.q.pop()
 		if it.dist > w.distAt(it.v) {
 			continue
 		}
+		if w.isTerm[it.v] && w.doneStamp[it.v] != w.gen {
+			w.doneStamp[it.v] = w.gen
+			remaining--
+		}
 		for _, e := range g.adj[it.v] {
-			if !g.Edges[e].Alive || e == skip {
+			if !g.Edges[e].Alive || int(e) == skip {
 				continue
 			}
 			c := g.Edges[e].Len
 			if cost != nil {
-				c = cost(e)
+				c = cost(int(e))
 			}
-			v := g.other(e, it.v)
+			v := g.other32(e, it.v)
 			if d := it.dist + c; d < w.distAt(v) {
 				w.set(v, d, e)
-				heap.Push(&w.q, pqItem{v: v, dist: d})
+				w.q.push(pqItem{v: v, dist: d})
 			}
 		}
 	}
@@ -224,7 +365,7 @@ func (g *Graph) tentativeCostInto(skip int, cost func(e int) float64, prev *Tree
 	w := &g.ws
 	t := prev
 	if t == nil {
-		t = &Tree{}
+		t = GetTree()
 	}
 	if cap(t.InTree) >= len(g.Edges) {
 		t.InTree = t.InTree[:len(g.Edges)]
@@ -242,19 +383,20 @@ func (g *Graph) tentativeCostInto(skip int, cost func(e int) float64, prev *Tree
 	t.Edges = t.Edges[:0]
 	t.Length = 0
 	for ti, tv := range g.TermVert {
-		if math.IsInf(w.distAt(tv), 1) {
+		v := int32(tv)
+		if math.IsInf(w.distAt(v), 1) {
 			return nil, fmt.Errorf("rgraph: terminal %d unreachable from driver", ti)
 		}
-		t.SinkDist[ti] = w.distAt(tv)
-		for v := tv; w.prevAt(v) != -1; {
+		t.SinkDist[ti] = w.distAt(v)
+		for w.prevAt(v) != -1 {
 			e := w.prevAt(v)
 			if t.InTree[e] {
 				break // the rest of the path is already in the union
 			}
 			t.InTree[e] = true
-			t.Edges = append(t.Edges, e)
+			t.Edges = append(t.Edges, int(e))
 			t.Length += g.Edges[e].Len
-			v = g.other(e, v)
+			v = g.other32(e, v)
 		}
 	}
 	return t, nil
@@ -262,9 +404,28 @@ func (g *Graph) tentativeCostInto(skip int, cost func(e int) float64, prev *Tree
 
 // FinalTree returns the alive graph as a Tree once routing has finished
 // (IsTree). Unlike Tentative it includes every alive edge; for a finished
-// net the two coincide up to pruned stubs.
+// net the two coincide up to pruned stubs. The tree comes from the package
+// pool; callers done with it may PutTree it back.
 func (g *Graph) FinalTree() *Tree {
-	t := &Tree{InTree: make([]bool, len(g.Edges)), SinkDist: make([]float64, len(g.TermVert))}
+	t := GetTree()
+	if cap(t.InTree) >= len(g.Edges) {
+		t.InTree = t.InTree[:len(g.Edges)]
+		for i := range t.InTree {
+			t.InTree[i] = false
+		}
+	} else {
+		t.InTree = make([]bool, len(g.Edges))
+	}
+	if cap(t.SinkDist) >= len(g.TermVert) {
+		t.SinkDist = t.SinkDist[:len(g.TermVert)]
+		for i := range t.SinkDist {
+			t.SinkDist[i] = 0
+		}
+	} else {
+		t.SinkDist = make([]float64, len(g.TermVert))
+	}
+	t.Edges = t.Edges[:0]
+	t.Length = 0
 	for i := range g.Edges {
 		if g.Edges[i].Alive {
 			t.InTree[i] = true
@@ -301,71 +462,118 @@ func (g *Graph) SkewPs(t *Tree, ckt *circuit.Circuit, rPerUm float64) float64 {
 // and the terminals' fan-in loads. The returned slice is indexed like the
 // net's terminals; entry 0 (the driver) is zero.
 func (g *Graph) ElmoreDelays(t *Tree, ckt *circuit.Circuit, rPerUm float64) []float64 {
+	return g.ElmoreDelaysInto(nil, t, ckt, rPerUm)
+}
+
+// ElmoreDelaysInto is ElmoreDelays writing into dst (grown when needed):
+// everything but the result lives in the graph's workspace, so the
+// router's per-refresh delay derivation does not allocate.
+func (g *Graph) ElmoreDelaysInto(dst []float64, t *Tree, ckt *circuit.Circuit, rPerUm float64) []float64 {
 	capPerUm := ckt.Tech.WireCapPerUm(g.Pitch)
 	terms := ckt.Terminals(g.Net)
+	w := &g.ws
+	nV := len(g.Verts)
 
-	// Tree adjacency restricted to tree edges.
-	adj := make([][]int, len(g.Verts))
-	for _, e := range t.Edges {
-		adj[g.Edges[e].U] = append(adj[g.Edges[e].U], e)
-		adj[g.Edges[e].V] = append(adj[g.Edges[e].V], e)
+	// CSR adjacency restricted to tree edges: count, prefix-sum, fill.
+	if cap(w.elmStart) < nV+1 {
+		w.elmStart = make([]int32, nV+1)
+		w.elmParent = make([]int32, nV)
+		w.elmOrder = make([]int32, 0, nV)
+		w.elmCapPin = make([]float64, nV)
+		w.elmCapSub = make([]float64, nV)
+		w.elmDelay = make([]float64, nV)
 	}
+	start := w.elmStart[:nV+1]
+	for i := range start {
+		start[i] = 0
+	}
+	for _, e := range t.Edges {
+		start[g.Edges[e].U+1]++
+		start[g.Edges[e].V+1]++
+	}
+	for v := 0; v < nV; v++ {
+		start[v+1] += start[v]
+	}
+	if cap(w.elmEdges) < 2*len(t.Edges) {
+		w.elmEdges = make([]int32, 2*len(t.Edges))
+	}
+	edges := w.elmEdges[:2*len(t.Edges)]
+	fill := w.elmParent[:nV] // borrow as the running CSR cursor
+	for v := 0; v < nV; v++ {
+		fill[v] = 0
+	}
+	for _, e := range t.Edges {
+		u, v := g.Edges[e].U, g.Edges[e].V
+		edges[start[u]+fill[u]] = int32(e)
+		fill[u]++
+		edges[start[v]+fill[v]] = int32(e)
+		fill[v]++
+	}
+
 	// Pin loads at terminal vertices.
-	pinCap := make([]float64, len(g.Verts))
+	pinCap := w.elmCapPin[:nV]
+	for i := range pinCap {
+		pinCap[i] = 0
+	}
 	for ti, tv := range g.TermVert {
 		if ti > 0 {
 			pinCap[tv] = ckt.FinOf(terms[ti])
 		}
 	}
-	root := g.TermVert[0]
+	root := int32(g.TermVert[0])
 
-	// Post-order subtree capacitances.
-	subCap := make([]float64, len(g.Verts))
-	parentEdge := make([]int, len(g.Verts))
-	order := make([]int, 0, len(g.Verts))
-	seen := make([]bool, len(g.Verts))
+	// Post-order subtree capacitances over the tree DFS order.
+	subCap := w.elmCapSub[:nV]
+	parentEdge := w.elmParent[:nV]
 	for v := range parentEdge {
 		parentEdge[v] = -1
+		subCap[v] = 0
 	}
-	stack := []int{root}
-	seen[root] = true
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		order = append(order, v)
-		for _, e := range adj[v] {
-			w := g.other(e, v)
-			if !seen[w] {
-				seen[w] = true
-				parentEdge[w] = e
-				stack = append(stack, w)
+	order := w.elmOrder[:0]
+	w.reset(nV) // borrow the stamp array as the visited set
+	w.stamp[root] = w.gen
+	order = append(order, root)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		for _, e := range edges[start[v]:start[v+1]] {
+			u := g.other32(e, v)
+			if w.stamp[u] != w.gen {
+				w.stamp[u] = w.gen
+				parentEdge[u] = e
+				order = append(order, u)
 			}
 		}
 	}
+	w.elmOrder = order
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		subCap[v] += pinCap[v]
 		if pe := parentEdge[v]; pe != -1 {
 			wireCap := g.Edges[pe].Len * capPerUm
-			up := g.other(pe, v)
+			up := g.other32(pe, v)
 			subCap[up] += subCap[v] + wireCap
 		}
 	}
 	// Pre-order delay accumulation: delay at child = delay at parent +
 	// R(edge)·(C(edge)/2 + C(subtree below edge)).
-	delay := make([]float64, len(g.Verts))
+	delay := w.elmDelay[:nV]
+	delay[root] = 0
 	for _, v := range order {
 		if pe := parentEdge[v]; pe != -1 {
-			up := g.other(pe, v)
+			up := g.other32(pe, v)
 			r := rPerUm * g.Edges[pe].Len
 			c := g.Edges[pe].Len*capPerUm/2 + subCap[v]
 			delay[v] = delay[up] + r*c
 		}
 	}
-	out := make([]float64, len(g.TermVert))
-	for ti, tv := range g.TermVert {
-		out[ti] = delay[tv]
+	if cap(dst) >= len(g.TermVert) {
+		dst = dst[:len(g.TermVert)]
+	} else {
+		dst = make([]float64, len(g.TermVert))
 	}
-	out[0] = 0
-	return out
+	for ti, tv := range g.TermVert {
+		dst[ti] = delay[tv]
+	}
+	dst[0] = 0
+	return dst
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -126,6 +127,37 @@ func (m *metrics) observeJob(total time.Duration, phases []PhaseInfo) {
 	}
 }
 
+// RuntimeMemStats is the Go-runtime memory view of the /metrics document:
+// enough to watch the zero-allocation routing discipline from outside the
+// process — a routing service whose heap_objects climbs with every job, or
+// whose GC pauses grow under load, is allocating on the hot path again.
+type RuntimeMemStats struct {
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"` // live heap, bytes
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`   // heap address space held from the OS
+	HeapObjects    uint64  `json:"heap_objects"`     // live object count
+	TotalAllocMB   uint64  `json:"total_alloc_mb"`   // cumulative allocation volume, MiB
+	NumGC          uint32  `json:"num_gc"`           // completed GC cycles
+	LastGCPauseNs  uint64  `json:"last_gc_pause_ns"` // most recent stop-the-world pause
+	GCCPUPercent   float64 `json:"gc_cpu_percent"`   // share of CPU spent in GC since start
+}
+
+func readRuntimeMemStats() RuntimeMemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := RuntimeMemStats{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		TotalAllocMB:   ms.TotalAlloc >> 20,
+		NumGC:          ms.NumGC,
+	}
+	if ms.NumGC > 0 {
+		out.LastGCPauseNs = ms.PauseNs[(ms.NumGC+255)%256]
+	}
+	out.GCCPUPercent = ms.GCCPUFraction * 100
+	return out
+}
+
 // MetricsSnapshot is the /metrics document.
 type MetricsSnapshot struct {
 	JobsAccepted  int64                    `json:"jobs_accepted"`
@@ -150,6 +182,7 @@ type MetricsSnapshot struct {
 	JournalRecs   int64                    `json:"journal_records"`
 	JournalReplay int64                    `json:"journal_replayed"`
 	JournalBytes  int64                    `json:"journal_bytes"`
+	Runtime       RuntimeMemStats          `json:"runtime_mem"`
 	JobLatency    histogramJSON            `json:"job_latency_ms"`
 	PhaseLatency  map[string]histogramJSON `json:"phase_latency_ms"`
 	SelectLatency map[string]histogramJSON `json:"select_latency_ms"`
@@ -182,6 +215,7 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries, retained int, jour
 		JournalRecs:   journalRecs,
 		JournalReplay: m.journalReplayed.Load(),
 		JournalBytes:  journalBytes,
+		Runtime:       readRuntimeMemStats(),
 		JobLatency:    m.jobs.export(),
 		PhaseLatency:  make(map[string]histogramJSON, len(m.phases)),
 		SelectLatency: make(map[string]histogramJSON, len(m.selects)),

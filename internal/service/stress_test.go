@@ -78,6 +78,11 @@ func TestServiceStress(t *testing.T) {
 	if m.CacheEntries > distinct {
 		t.Errorf("cache_entries = %d, want <= %d", m.CacheEntries, distinct)
 	}
+	// The runtime view rides along on every snapshot: a live process
+	// always has a non-empty heap.
+	if m.Runtime.HeapAllocBytes == 0 || m.Runtime.HeapObjects == 0 {
+		t.Errorf("runtime_mem not populated: %+v", m.Runtime)
+	}
 	if total := m.JobsAccepted + m.JobsDeduped + m.CacheHits; total != distinct*repeats {
 		t.Errorf("accepted+deduped+cache_hits = %d, want %d", total, distinct*repeats)
 	}

@@ -1,0 +1,74 @@
+// Package workpool runs CPU-bound task batches on a process-wide set of
+// persistent worker goroutines.
+//
+// The router and the timing engine fan work out on every edge deletion;
+// spawning goroutines per fan-out allocates a goroutine stack and a
+// closure each time, which is exactly the garbage the zero-allocation hot
+// path forbids. Instead, callers keep one reusable batch object (a struct
+// implementing Task with its own work counter and WaitGroup), and Submit
+// enqueues that same object w times: exactly w workers call Run on it, so
+// a batch can hand each Run a distinct per-worker scratch slot by claiming
+// an index atomically.
+//
+// Workers are spawned lazily up to GOMAXPROCS at first need and never shut
+// down. Idle workers block on the shared channel and hold no reference to
+// any submitter, so pool lifetime never extends the lifetime of router or
+// timing state. A Task's Run must not block on other pool work (in
+// particular it must not Submit and wait on a nested batch), because every
+// worker it would wait for may be executing the same batch.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Task is one unit of batch work. Run is called exactly once per copy
+// Submit enqueued; it must return only when the call's share of the work
+// is done (typically: claim indices from a shared atomic counter until the
+// batch is drained, then mark a WaitGroup).
+type Task interface {
+	Run()
+}
+
+var (
+	mu      sync.Mutex
+	spawned int
+	// tasks is buffered so a full fan-out enqueues without handshaking
+	// with a worker per send; workers never block while holding a task,
+	// so the queue always drains.
+	tasks = make(chan Task, 256)
+)
+
+// Submit enqueues t exactly w times (w >= 1) and returns without waiting;
+// the caller synchronizes on the batch's own WaitGroup. Workers are
+// spawned on demand, capped at GOMAXPROCS — with fewer workers than w the
+// extra Run calls simply happen as workers free up, which is fine for
+// counter-draining batches (late Runs find the batch drained and return).
+func Submit(t Task, w int) {
+	if w < 1 {
+		w = 1
+	}
+	ensure(w)
+	for i := 0; i < w; i++ {
+		tasks <- t
+	}
+}
+
+func ensure(w int) {
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	mu.Lock()
+	for spawned < w {
+		spawned++
+		go worker()
+	}
+	mu.Unlock()
+}
+
+func worker() {
+	for t := range tasks {
+		t.Run()
+	}
+}
