@@ -1,15 +1,20 @@
 // Command bgr-vet runs the repo-specific determinism-and-invariant static
 // analysis suite (internal/lint) over the given package patterns and
 // exits non-zero when any diagnostic — including a stale //bgr:allow
-// suppression — survives.
+// suppression or a stale hotalloc allowlist entry — survives. Exit
+// status 1 means diagnostics; exit status 2 means the run itself failed
+// (load error, escape-analysis build failure, unparsable compiler dump,
+// missing allowlist) and must never be read as a pass.
 //
 // Usage:
 //
 //	go run ./cmd/bgr-vet ./...
 //	go run ./cmd/bgr-vet -json ./internal/core
+//	go run ./cmd/bgr-vet -suggest-allow ./...
 //	go run ./cmd/bgr-vet -list
 //
-// See docs/LINT.md for the analyzers and the suppression directive.
+// See docs/LINT.md for the analyzers, the suppression directive and the
+// hotalloc allowlist workflow.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/lint"
 )
@@ -25,6 +31,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	hotalloc := flag.Bool("hotalloc", true, "run the compiler-escape-analysis hotalloc gate")
+	allow := flag.String("allow", "", "hotalloc allowlist file (default: <dir>/internal/lint/hotalloc_allow.txt when present)")
+	suggest := flag.Bool("suggest-allow", false, "print the hotalloc allowlist the current tree would need, then exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bgr-vet [flags] [packages]\n\nFlags:\n")
 		flag.PrintDefaults()
@@ -38,9 +47,34 @@ func main() {
 			if a.DeterministicOnly {
 				scope = "deterministic packages"
 			}
-			fmt.Printf("%-10s %s (%s)\n", a.Name, a.Doc, scope)
+			if a.RunAll != nil {
+				scope = "whole module"
+			}
+			fmt.Printf("%-14s %s (%s)\n", a.Name, a.Doc, scope)
 		}
 		return
+	}
+	if !*hotalloc {
+		kept := analyzers[:0]
+		for _, a := range analyzers {
+			if a.Name != "hotalloc" {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	ctx := &lint.Context{Dir: *dir}
+	switch {
+	case *allow != "":
+		// Explicit allowlist: if it does not exist, loadAllowlist fails
+		// the run (exit 2) rather than silently vetting without it.
+		ctx.Allowlist = *allow
+	default:
+		def := filepath.Join(*dir, "internal", "lint", "hotalloc_allow.txt")
+		if _, err := os.Stat(def); err == nil {
+			ctx.Allowlist = def
+		}
 	}
 
 	patterns := flag.Args()
@@ -52,7 +86,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bgr-vet: %v\n", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(pkgs, analyzers)
+
+	if *suggest {
+		lines, err := lint.SuggestAllowlist(ctx, pkgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bgr-vet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		return
+	}
+
+	diags, err := lint.Run(ctx, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bgr-vet: %v\n", err)
+		os.Exit(2)
+	}
+	if abs, aerr := filepath.Abs(*dir); aerr == nil {
+		lint.Relativize(diags, abs)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

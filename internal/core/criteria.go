@@ -205,8 +205,10 @@ func (r *router) affectedNets(n int) []int {
 	r.rrNets[0] = n
 	if m := r.pairOf[n]; m != circuit.NoNet {
 		r.rrNets[1] = m
+		//bgr:allow scratch-escape -- documented loan: affectedNets' result aliases rrNets until the next call; both callers consume it immediately
 		return r.rrNets[:2]
 	}
+	//bgr:allow scratch-escape -- documented loan: affectedNets' result aliases rrNets until the next call; both callers consume it immediately
 	return r.rrNets[:1]
 }
 
@@ -300,27 +302,13 @@ func (r *router) delayCriteriaSc(n, e int, sc *scratch) delayCrit {
 	return out
 }
 
-// selectEdge returns the deletion candidate the §3.4 (or §3.5 area)
-// heuristics choose over the given nets (nil means all) — the same argmin
-// the full scan produced, computed incrementally: each net's ranked best
-// is cached and re-scored only when something it depends on changed, and
-// the re-scoring of independent nets fans out across Config.Workers. The
-// final cross-net argmin is sequential in net-index order, so the result
-// is deterministic and independent of the worker count. ok is false when
-// no non-bridge edge remains.
-func (r *router) selectEdge(restrict []int, areaOrder bool) (candidate, bool) {
-	start := time.Now() //bgr:allow clockuse -- profiling only: feeds selStats latency counters, never steers selection
-	// Materialize every channel's stats: parallel scorers then only read
-	// the density state.
-	r.dens.Flush()
-
-	nNets := len(r.graphs)
-
-	// Fold the density mutations since the last call into the dirty-net
-	// bitset: a channel whose version moved invalidates exactly the nets
-	// whose candidate graphs touch it (chanNetBits). An ordering flip
-	// invalidates everything. After this point the superset invariant
-	// holds: a clear bit proves bestValid without reading any epoch.
+// drainDensityChanges folds the density mutations since the last
+// selectEdge call into the dirty-net bitset: a channel whose version
+// moved invalidates exactly the nets whose candidate graphs touch it
+// (chanNetBits). An ordering-criterion flip invalidates everything.
+// After it returns the superset invariant holds: a clear bit proves
+// bestValid without reading any epoch.
+func (r *router) drainDensityChanges(areaOrder bool) {
 	for _, ch := range r.dens.TakeChanged() {
 		row := r.chanNetBits[ch]
 		for w, m := range row {
@@ -333,6 +321,26 @@ func (r *router) selectEdge(restrict []int, areaOrder bool) (candidate, bool) {
 		}
 		r.lastAreaOrd = areaOrder
 	}
+}
+
+// selectEdge returns the deletion candidate the §3.4 (or §3.5 area)
+// heuristics choose over the given nets (nil means all) — the same argmin
+// the full scan produced, computed incrementally: each net's ranked best
+// is cached and re-scored only when something it depends on changed, and
+// the re-scoring of independent nets fans out across Config.Workers. The
+// final cross-net argmin is sequential in net-index order, so the result
+// is deterministic and independent of the worker count. ok is false when
+// no non-bridge edge remains.
+//
+//bgr:hot
+func (r *router) selectEdge(restrict []int, areaOrder bool) (candidate, bool) {
+	start := time.Now() //bgr:allow clockuse -- profiling only: feeds selStats latency counters, never steers selection
+	// Materialize every channel's stats: parallel scorers then only read
+	// the density state.
+	r.dens.Flush()
+
+	nNets := len(r.graphs)
+	r.drainDensityChanges(areaOrder)
 
 	// Collect the nets whose cached ranking is stale, grouped into
 	// scoring units by differential-pair leader: a unit owns both halves

@@ -155,11 +155,13 @@ type router struct {
 	lastAreaOrd bool       // ordering of the previous selectEdge; a flip invalidates all
 	sc          *scratch   // sequential scoring scratch
 	scratches   []*scratch // per-worker scratches for parallel scoring
-	staleBuf    []int32    // reusable buffers for selectEdge
-	unitBuf     []int32
-	scoreB      scoreBatch // reusable parallel-scoring batch (workpool task)
-	selStat     selStats
-	timStat     timStats
+	//bgr:owned -- reusable selectEdge buffer
+	staleBuf []int32
+	//bgr:owned -- reusable selectEdge buffer
+	unitBuf []int32
+	scoreB  scoreBatch // reusable parallel-scoring batch (workpool task)
+	selStat selStats
+	timStat timStats
 
 	// trunkCnt[ch*nNets+n] counts net n's alive trunk edges in channel ch
 	// (flat row-major); the area phase uses it to visit only nets present
@@ -169,16 +171,22 @@ type router struct {
 
 	// Hot-path scratch buffers, each owned by exactly one (non-reentrant)
 	// method and sized once; see docs/PERF.md for the ownership rules.
-	rrNets   [2]int    // affectedNets result backing
-	delNets  [2]int    // deleteEdge: nets being edited
-	delDirty [2]int    // deleteEdge: nets whose tree changed
-	consBuf  []int     // violatedCons / improveDelay order
-	elmBuf   []float64 // applyNetDelay: Elmore wire delays
-	perBuf   []float64 // applyNetDelay: per-arc delays
-	chanMark []int32   // recomputeNetChans channel dedup stamps
+	//bgr:owned -- affectedNets result backing, lent until the next call
+	rrNets   [2]int
+	delNets  [2]int // deleteEdge: nets being edited
+	delDirty [2]int // deleteEdge: nets whose tree changed
+	//bgr:owned -- violatedCons / improveDelay order
+	consBuf []int
+	//bgr:owned -- applyNetDelay: Elmore wire delays
+	elmBuf []float64
+	//bgr:owned -- applyNetDelay: per-arc delays
+	perBuf   []float64
+	chanMark []int32 // recomputeNetChans channel dedup stamps
 	chanGen  int32
-	congBuf  []congScored // congestedNets scored list
-	congOut  []int        // congestedNets result backing
+	//bgr:owned -- congestedNets scored list
+	congBuf []congScored
+	//bgr:owned -- congestedNets result backing, lent until the next call
+	congOut []int
 
 	// Reroute scratch (see reroute.go): the save/restore state of the
 	// in-flight attempt, and a free list of retired routing graphs whose
@@ -452,6 +460,23 @@ func (r *router) clearBestDirty(n int) {
 	r.dirtyBest[n>>6] &^= 1 << (uint(n) & 63)
 }
 
+// clearNetChanBits removes net n from the mask of every channel in its
+// recorded channel set — the inverse of markNetChanBits, called before
+// the set is rebuilt.
+func (r *router) clearNetChanBits(n int) {
+	for _, ch := range r.netChans[n] {
+		r.chanNetBits[ch][n>>6] &^= 1 << (uint(n) & 63)
+	}
+}
+
+// markNetChanBits adds net n to the mask of every channel in chans, so a
+// density change in any of them re-dirties the net's cached best.
+func (r *router) markNetChanBits(n int, chans []int) {
+	for _, ch := range chans {
+		r.chanNetBits[ch][n>>6] |= 1 << (uint(n) & 63)
+	}
+}
+
 // buildIndexes derives the static selection-engine indexes once graphs and
 // the delay graph exist: the constraint→nets reverse map and each net's
 // channel set.
@@ -480,9 +505,7 @@ func (r *router) recomputeNetChans(n int) {
 		r.chanGen = 1
 	}
 	gen := r.chanGen
-	for _, ch := range r.netChans[n] {
-		r.chanNetBits[ch][n>>6] &^= 1 << (uint(n) & 63)
-	}
+	r.clearNetChanBits(n)
 	chans := r.netChans[n][:0]
 	for i := range r.graphs[n].Edges {
 		ch := r.graphs[n].Edges[i].Ch
@@ -492,9 +515,7 @@ func (r *router) recomputeNetChans(n int) {
 		}
 	}
 	r.netChans[n] = chans
-	for _, ch := range chans {
-		r.chanNetBits[ch][n>>6] |= 1 << (uint(n) & 63)
-	}
+	r.markNetChanBits(n, chans)
 	r.markBestDirty(n)
 }
 
@@ -835,6 +856,7 @@ func (r *router) violatedCons() []int {
 		return r.tm.Cons[out[a]].Margin < r.tm.Cons[out[b]].Margin
 	})
 	r.consBuf = out
+	//bgr:allow scratch-escape -- documented loan: violatedCons' result aliases consBuf until the next call; callers iterate it before re-entering the router
 	return out
 }
 
@@ -943,5 +965,6 @@ func (r *router) congestedNets() []int {
 		out = append(out, s.net)
 	}
 	r.congOut = out
+	//bgr:allow scratch-escape -- documented loan: congestedNets' result aliases congOut until the next call; the area phase consumes it before the next selection
 	return out
 }

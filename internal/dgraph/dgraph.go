@@ -400,7 +400,8 @@ type Timing struct {
 	// constraint tracking cannot be bypassed by a shortcut write.
 	dirty      []bool
 	dirtyCount int
-	flushBuf   []int
+	//bgr:owned -- Flush result backing, lent until the next Flush
+	flushBuf []int
 
 	// netSeen/netGen are the CriticalNets dedup scratch: a nets-aligned
 	// mark slice with a generation counter (no per-call map allocation).
@@ -490,7 +491,7 @@ var negInf = math.Inf(-1)
 // propagated verbatim — never the result of arithmetic — so exact
 // comparison is the correct test.
 func unreached(x float64) bool {
-	return x == negInf //bgr:allow floateq -- -Inf sentinel stored verbatim; equality is exact
+	return x == negInf //bgr:allow floateq -- audited: -Inf is assigned at init and only copied; every relax site checks unreached() before adding a delay, so the sentinel is never produced by arithmetic and exact equality is the correct test
 }
 
 // Analyze recomputes every constraint's longest paths and margin from the
@@ -582,7 +583,7 @@ func (t *Timing) CriticalPath(p int) []int {
 	// Find the worst sink.
 	end := int32(-1)
 	for _, s := range sg.sinks {
-		if !unreached(ct.LpF[s]) && ct.LpF[s] == ct.Worst { //bgr:allow floateq -- Worst is a verbatim copy of one sink's LpF; equality is exact
+		if !unreached(ct.LpF[s]) && ct.LpF[s] == ct.Worst { //bgr:allow floateq -- audited: Worst is a verbatim copy of the max sink LpF (analyzeOne), no arithmetic in between, so bitwise equality re-identifies the worst sink; the trivially-met Worst=0 rewrite only happens when every sink is unreached and the loop finds none
 			end = s
 			break
 		}

@@ -56,8 +56,9 @@ type subgraph struct {
 	// nets lists the nets with at least one arc in the subgraph,
 	// ascending; net nets[i]'s local arc ids are
 	// netArcIdx[netStart[i]:netStart[i+1]], in fan-out order.
-	nets      []int32
-	netStart  []int32
+	nets     []int32
+	netStart []int32
+	//bgr:owned -- netArcsLocal lends subslice views of it
 	netArcIdx []int32
 }
 
@@ -76,6 +77,7 @@ func (sg *subgraph) netArcsLocal(net int32) []int32 {
 	if lo == len(sg.nets) || sg.nets[lo] != net {
 		return nil
 	}
+	//bgr:allow scratch-escape -- documented loan: a read-only CSR view; netArcIdx is append-only after New, so the backing array never moves under a reader
 	return sg.netArcIdx[sg.netStart[lo]:sg.netStart[lo+1]]
 }
 
@@ -308,6 +310,8 @@ func (b *flushBatch) Run() {
 // workpool — no goroutine or closure is allocated per call; each
 // constraint writes only its own ConsTiming slot and the returned order is
 // fixed, so the outcome is byte-identical for every worker count.
+//
+//bgr:hot
 func (t *Timing) Flush() []int {
 	if t.dirtyCount == 0 {
 		return nil
@@ -323,6 +327,7 @@ func (t *Timing) Flush() []int {
 	t.flushBuf = ps
 	if w := t.flushWorkers(len(ps)); w > 1 {
 		b := &t.fb
+		//bgr:allow scratch-escape -- flushBatch is Timing-owned fan-out state: workers only read ps, and the batch is drained (wg.Wait) before Flush returns
 		b.t, b.ps = t, ps
 		b.next.Store(0)
 		b.wg.Add(w)
@@ -333,6 +338,7 @@ func (t *Timing) Flush() []int {
 			t.analyzeOne(p)
 		}
 	}
+	//bgr:allow scratch-escape -- documented loan: Flush's result aliases flushBuf until the next Flush; every caller copies or finishes with it first
 	return ps
 }
 

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Annotation directives mark the code the ownership analyzers enforce:
+//
+//	bgr:hot   — on a function declaration: the function is a hot-path
+//	            entry point; hotalloc forbids unallowlisted heap
+//	            allocations in everything reachable from it.
+//	bgr:owned — on a struct field of slice (or array) type: the field is
+//	            a scratch buffer or view owned by that struct;
+//	            scratch-escape forbids it leaking out of its owner.
+//
+// Both are written as comments ("//" + the directive), either trailing
+// on the annotated line or inside the declaration's doc comment, and
+// optionally carry a note after " -- ". A directive that is malformed
+// or not attached to the right kind of declaration is itself a
+// diagnostic — annotations must not rot into silent no-ops.
+
+const (
+	hotPrefix   = "//bgr:hot"
+	ownedPrefix = "//bgr:owned"
+)
+
+var annotRE = regexp.MustCompile(`^//bgr:(hot|owned)(?:\s+--\s+\S.*)?$`)
+
+// annotComments yields the well-formed annotation comments of a file
+// matching the given prefix, reporting malformed ones (right prefix,
+// wrong grammar) under the given analyzer name.
+func annotComments(pkg *Package, f *ast.File, prefix, analyzer string) ([]*ast.Comment, []Diagnostic) {
+	var out []*ast.Comment
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimRight(c.Text, " \t")
+			if !strings.HasPrefix(text, prefix) {
+				continue
+			}
+			if !annotRE.MatchString(text) {
+				bad = append(bad, Diagnostic{Pos: pkg.Fset.Position(c.Pos()), Analyzer: analyzer,
+					Message: "malformed annotation " + quoteDirective(text) + ": want " + prefix + " or " + prefix + " -- <note>"})
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	return out, bad
+}
+
+func quoteDirective(text string) string {
+	if len(text) > 60 {
+		text = text[:60] + "..."
+	}
+	return "\"" + text + "\""
+}
+
+// hotFuncs collects the bgr:hot annotated functions of a package. The
+// annotation must sit in a function declaration's doc comment or on the
+// declaration's first line; anywhere else it would silently guard
+// nothing, so it is reported.
+func hotFuncs(pkg *Package) (map[*types.Func]bool, []Diagnostic) {
+	out := map[*types.Func]bool{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		attach := map[int]*ast.FuncDecl{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			attach[pkg.Fset.Position(fd.Pos()).Line] = fd
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					attach[pkg.Fset.Position(c.Pos()).Line] = fd
+				}
+			}
+		}
+		comments, bad := annotComments(pkg, f, hotPrefix, "hotalloc")
+		diags = append(diags, bad...)
+		for _, c := range comments {
+			pos := pkg.Fset.Position(c.Pos())
+			fd := attach[pos.Line]
+			if fd == nil {
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: "hotalloc",
+					Message: "bgr:hot is not attached to a function declaration: put it in the function's doc comment or on its first line"})
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = true
+			}
+		}
+	}
+	return out, diags
+}
+
+// ownedFields collects the bgr:owned annotated struct fields of a
+// package. The annotation must sit on a struct field's line (or its doc
+// line), and the field must be slice- or array-typed — ownership of a
+// scalar is meaningless, and a silent no-op annotation is worse than
+// none.
+func ownedFields(pkg *Package) (map[*types.Var]bool, []Diagnostic) {
+	out := map[*types.Var]bool{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		attach := map[int]*ast.Field{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				attach[pkg.Fset.Position(field.Pos()).Line] = field
+				if field.Doc != nil {
+					for _, c := range field.Doc.List {
+						attach[pkg.Fset.Position(c.Pos()).Line] = field
+					}
+				}
+				if field.Comment != nil {
+					for _, c := range field.Comment.List {
+						attach[pkg.Fset.Position(c.Pos()).Line] = field
+					}
+				}
+			}
+			return true
+		})
+		comments, bad := annotComments(pkg, f, ownedPrefix, "scratch-escape")
+		diags = append(diags, bad...)
+		for _, c := range comments {
+			pos := pkg.Fset.Position(c.Pos())
+			field := attach[pos.Line]
+			if field == nil {
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: "scratch-escape",
+					Message: "bgr:owned is not attached to a struct field: put it on the field's line or in its doc comment"})
+				continue
+			}
+			t := pkg.Info.TypeOf(field.Type)
+			if t == nil || !sliceOrArray(t) {
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: "scratch-escape",
+					Message: "bgr:owned field must be slice- or array-typed: ownership tracking is about backing arrays, not scalar copies"})
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+	}
+	return out, diags
+}
+
+func sliceOrArray(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}

@@ -28,6 +28,14 @@ import (
 // struct named "Timing") may only be written inside a mark/flush method
 // or an initializer; the rule is receiver-scoped so lazily cleared dirty
 // flags in other packages (density.State) stay untouched.
+//
+// The third contract is PR-7's dirty-net bitset: router.dirtyBest and the
+// per-channel net masks (suffix "NetBits") replace the O(nets) bestValid
+// scan in selectEdge, and they stay exact only while every density
+// mutation is mirrored by a mark and every consumption by a drain. A
+// write to one of these fields (receiver struct named "router") is
+// sanctioned only inside a mark/clear/drain method or an initializer;
+// any other write needs a //bgr:allow epochs with the pairing argument.
 var analyzerEpochs = &Analyzer{
 	Name:              "epochs",
 	Doc:               "flags epoch/version and timing dirty-set writes outside their owning methods",
@@ -42,6 +50,10 @@ var analyzerEpochs = &Analyzer{
 			if name, ok := dirtySetWrite(pkg, lhs); ok && !dirtyBumpSite(fd.Name.Name) {
 				out = append(out, pkg.diag(lhs.Pos(), "epochs",
 					"write to dirty-set field %q outside a mark/flush method (%s): route it through MarkNet/MarkAll/Flush so the dirty flags and dirtyCount stay paired", name, fd.Name.Name))
+			}
+			if name, ok := bitsetWrite(pkg, lhs); ok && !bitsetBumpSite(fd.Name.Name) {
+				out = append(out, pkg.diag(lhs.Pos(), "epochs",
+					"write to dirty-net bitset field %q outside a mark/clear/drain method (%s): route it through the owning mark/clear helpers so every density change stays paired with a drain", name, fd.Name.Name))
 			}
 		}
 		for _, f := range pkg.Files {
@@ -121,6 +133,37 @@ func dirtySetWrite(pkg *Package, lhs ast.Expr) (string, bool) {
 		return "", false
 	}
 	if name == "dirty" || name == "dirtyCount" || strings.HasSuffix(name, "Dirty") {
+		return name, true
+	}
+	return "", false
+}
+
+// bitsetBumpSite reports whether a function name marks a sanctioned
+// dirty-net bitset mutation site. "drain" joins mark/clear because the
+// consuming side (selectEdge's drain loop, extracted into a helper)
+// clears bits as it reads them.
+func bitsetBumpSite(name string) bool {
+	l := strings.ToLower(name)
+	if strings.Contains(l, "mark") || strings.Contains(l, "clear") || strings.Contains(l, "drain") {
+		return true
+	}
+	for _, p := range []string{"init", "new", "setup", "reset"} {
+		if strings.HasPrefix(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// bitsetWrite reports whether the assignment target is (an element of)
+// the selection engine's dirty-net bitset state: field "dirtyBest" or
+// suffix "NetBits", on a receiver struct named "router".
+func bitsetWrite(pkg *Package, lhs ast.Expr) (string, bool) {
+	name, recv, ok := fieldWrite(pkg, lhs)
+	if !ok || recv != "router" {
+		return "", false
+	}
+	if name == "dirtyBest" || strings.HasSuffix(name, "NetBits") {
 		return name, true
 	}
 	return "", false

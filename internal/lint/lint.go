@@ -8,15 +8,24 @@
 // with go/types against the toolchain's export data — so the module keeps
 // zero external requirements.
 //
-// Five analyzers are registered (see docs/LINT.md for the full contract
+// Eight analyzers are registered (see docs/LINT.md for the full contract
 // each one guards):
 //
 //   - maporder: `range` over a map in a deterministic package
 //   - floateq:  `==`/`!=` between floating-point operands
 //   - clockuse: time.Now/time.Since/math-rand in a deterministic package
-//   - epochs:   epoch/version cache fields written outside bump methods
+//   - epochs:   epoch/version cache fields and the selection engine's
+//     dirty-net bitset written outside their owning methods
 //   - locks:    sync.Mutex/RWMutex copied by value, or Lock without a
 //     paired unlock on every return path
+//   - scratch-escape: a bgr:owned scratch slice or view escaping its
+//     owner (returned, stored elsewhere, captured by a goroutine, or
+//     appended so the backing array can reallocate)
+//   - poolpair: sync.Pool.Get without a paired Put on every return
+//     path, or a pooled object leaving the function without a reset
+//   - hotalloc: a heap-allocation site (per the compiler's own escape
+//     analysis) reachable from a bgr:hot entry point and absent from
+//     the reasoned allowlist
 //
 // A finding is suppressible only with a reasoned directive on the same
 // line or the line directly above:
@@ -28,10 +37,12 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strings"
@@ -46,6 +57,43 @@ type Diagnostic struct {
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// MarshalJSON renders the diagnostic as a flat, machine-stable object.
+// Only the fields CI diffs are emitted — file (forward slashes), line,
+// column, analyzer, message — so the byte output is identical across
+// operating systems and `go list` orderings.
+func (d Diagnostic) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}{filepath.ToSlash(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+}
+
+// Relativize rewrites every diagnostic's file path to be relative to
+// base when possible, so output (and the -json golden files) does not
+// depend on where the tree is checked out.
+func Relativize(diags []Diagnostic, base string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(base, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+}
+
+// Context carries the run-wide inputs of the whole-module analyzers.
+// The zero value disables them gracefully: hotalloc still validates
+// bgr:hot annotations but compiles nothing without a Dir, and an empty
+// Allowlist means no allowlist is consulted.
+type Context struct {
+	// Dir is the directory package patterns were resolved from; the
+	// hotalloc analyzer runs `go build` there.
+	Dir string
+	// Allowlist is the path to the hotalloc allowlist file ("" = none).
+	Allowlist string
 }
 
 // Package is one loaded, parsed and type-checked package.
@@ -64,7 +112,11 @@ func (p *Package) diag(pos token.Pos, analyzer, format string, args ...any) Diag
 	return Diagnostic{Pos: p.Fset.Position(pos), Analyzer: analyzer, Message: fmt.Sprintf(format, args...)}
 }
 
-// Analyzer is one repo-specific check.
+// Analyzer is one repo-specific check. Exactly one of Run and RunAll is
+// set: Run inspects one package at a time; RunAll sees the whole loaded
+// package set at once (for cross-package work like call-graph
+// reachability) and may fail hard — a load or toolchain error there must
+// surface as exit status 2, never as a false pass.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -72,6 +124,7 @@ type Analyzer struct {
 	// packages (see Deterministic).
 	DeterministicOnly bool
 	Run               func(*Package) []Diagnostic
+	RunAll            func(*Context, []*Package) ([]Diagnostic, error)
 }
 
 // deterministicPkgs are the package names forming the deterministic
@@ -103,6 +156,9 @@ func Analyzers() []*Analyzer {
 		analyzerClockUse,
 		analyzerEpochs,
 		analyzerLocks,
+		analyzerScratchEscape,
+		analyzerPoolPair,
+		analyzerHotAlloc,
 	}
 }
 
@@ -129,7 +185,17 @@ func parseDirectives(pkg *Package, known map[string]bool) ([]*directive, []Diagn
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimRight(c.Text, " \t")
+				if !strings.HasPrefix(text, "//bgr:") {
+					continue
+				}
 				if !strings.HasPrefix(text, directivePrefix) {
+					// bgr:hot / bgr:owned are validated by the analyzers
+					// that consume them; any other verb is a typo that
+					// would otherwise rot silently.
+					if !strings.HasPrefix(text, hotPrefix) && !strings.HasPrefix(text, ownedPrefix) {
+						bad = append(bad, Diagnostic{Pos: pkg.Fset.Position(c.Pos()), Analyzer: "allow",
+							Message: fmt.Sprintf("unknown bgr directive %s: the known verbs are allow, hot and owned", quoteDirective(text))})
+					}
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -162,43 +228,72 @@ func (dir *directive) matches(d Diagnostic) bool {
 
 // Run applies the analyzers to every package, resolves suppressions, and
 // returns the surviving diagnostics plus one "allow" diagnostic for every
-// stale or malformed directive, sorted by position.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// stale or malformed directive, fully ordered by (file, line, column,
+// analyzer, message). Directive matching is global — a suppression works
+// for the whole-module analyzers exactly as for the per-package ones,
+// since both position their findings in the annotated source. A non-nil
+// error means an analyzer could not complete (toolchain failure,
+// unparsable compiler dump); callers must treat it as a failed run, not
+// a clean one.
+func Run(ctx *Context, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if ctx == nil {
+		ctx = &Context{}
+	}
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var out []Diagnostic
+	var raw, out []Diagnostic
+	var dirs []*directive
 	for _, pkg := range pkgs {
-		var raw []Diagnostic
 		det := Deterministic(pkg.Name)
 		for _, a := range analyzers {
-			if a.DeterministicOnly && !det {
+			if a.Run == nil || (a.DeterministicOnly && !det) {
 				continue
 			}
 			raw = append(raw, a.Run(pkg)...)
 		}
-		dirs, bad := parseDirectives(pkg, known)
+		pd, bad := parseDirectives(pkg, known)
+		dirs = append(dirs, pd...)
 		out = append(out, bad...)
-		for _, d := range raw {
-			suppressed := false
-			for _, dir := range dirs {
-				if dir.matches(d) {
-					dir.used = true
-					suppressed = true
-				}
-			}
-			if !suppressed {
-				out = append(out, d)
+	}
+	for _, a := range analyzers {
+		if a.RunAll == nil {
+			continue
+		}
+		ds, err := a.RunAll(ctx, pkgs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		raw = append(raw, ds...)
+	}
+	for _, d := range raw {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.matches(d) {
+				dir.used = true
+				suppressed = true
 			}
 		}
-		for _, dir := range dirs {
-			if !dir.used {
-				out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
-					Message: fmt.Sprintf("stale suppression: no %s diagnostic on this or the next line; delete the //bgr:allow", dir.analyzer)})
-			}
+		if !suppressed {
+			out = append(out, d)
 		}
 	}
+	for _, dir := range dirs {
+		if !dir.used {
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
+				Message: fmt.Sprintf("stale suppression: no %s diagnostic on this or the next line; delete the //bgr:allow", dir.analyzer)})
+		}
+	}
+	Sort(out)
+	return out, nil
+}
+
+// Sort orders diagnostics by (file, line, column, analyzer, message) —
+// the full key, so equal-position findings from different analyzers (or
+// duplicate-position findings with different messages) still render in
+// one deterministic order on every machine.
+func Sort(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -210,7 +305,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
 }

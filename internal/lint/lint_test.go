@@ -74,14 +74,26 @@ func collectWants(t *testing.T, dir string) []*want {
 	return wants
 }
 
+// runFixture applies the full suite to one fixture package. The Context
+// points Dir at this directory so the hotalloc fixture can compile; the
+// other fixtures have no bgr:hot roots and skip the compile entirely.
+func runFixture(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	diags, err := Run(&Context{Dir: "."}, loadFixture(t, name), Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
 // TestFixtures runs the full suite over each analyzer's golden fixture
 // and requires an exact match between the reported diagnostics and the
 // `// want` expectations: every diagnostic must be expected, every
 // expectation must fire, and the clean declarations must stay silent.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"maporder", "floateq", "clockuse", "epochs", "dirtyset", "locks"} {
+	for _, name := range []string{"maporder", "floateq", "clockuse", "epochs", "dirtyset", "locks", "scratch", "poolpair", "bitset", "hotalloc"} {
 		t.Run(name, func(t *testing.T) {
-			diags := Run(loadFixture(t, name), Analyzers())
+			diags := runFixture(t, name)
 			wants := collectWants(t, filepath.Join("testdata", "src", name))
 			if len(wants) == 0 {
 				t.Fatalf("fixture %s has no // want expectations", name)
@@ -109,7 +121,7 @@ func TestFixtures(t *testing.T) {
 // flagged line, and on the line directly above): a well-formed, reasoned
 // //bgr:allow must silence the finding completely.
 func TestAllowSuppresses(t *testing.T) {
-	diags := Run(loadFixture(t, "allowok"), Analyzers())
+	diags := runFixture(t, "allowok")
 	for _, d := range diags {
 		t.Errorf("suppressed fixture still reports: %s", d)
 	}
@@ -119,7 +131,7 @@ func TestAllowSuppresses(t *testing.T) {
 // suppression, one naming an unknown analyzer, and a malformed one must
 // each produce an "allow" diagnostic — and nothing else.
 func TestAllowRot(t *testing.T) {
-	diags := Run(loadFixture(t, "allowstale"), Analyzers())
+	diags := runFixture(t, "allowstale")
 	expect := []string{"stale suppression", "unknown analyzer", "malformed suppression"}
 	var unmatched []Diagnostic
 outer:
@@ -143,6 +155,21 @@ outer:
 	}
 	for _, d := range unmatched {
 		t.Errorf("extra allow diagnostic: %s", d)
+	}
+}
+
+// TestLoadCache pins the per-process load memoization: repeating the
+// same (dir, patterns) request must return the identical packages, not a
+// re-parsed copy, so fixture-heavy test runs pay for go list and the
+// type checker once per distinct request.
+func TestLoadCache(t *testing.T) {
+	first := loadFixture(t, "maporder")
+	second := loadFixture(t, "maporder")
+	if first[0] != second[0] {
+		t.Fatalf("repeated Load returned a fresh package: %p vs %p", first[0], second[0])
+	}
+	if first[0].Fset != second[0].Fset {
+		t.Fatal("repeated Load rebuilt the shared FileSet")
 	}
 }
 
@@ -170,8 +197,13 @@ func TestRepositoryClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
 	}
+	ctx := &Context{Dir: "../..", Allowlist: "hotalloc_allow.txt"}
+	diags, err := Run(ctx, pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
 	var msgs []string
-	for _, d := range Run(pkgs, Analyzers()) {
+	for _, d := range diags {
 		msgs = append(msgs, d.String())
 	}
 	if len(msgs) > 0 {

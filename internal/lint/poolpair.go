@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerPoolPair enforces the sync.Pool discipline the zero-alloc hot
+// path depends on (docs/PERF.md): an object taken with Get must go back
+// with Put, and must be reset before anything else sees it, because a
+// pooled object arrives carrying whatever the previous user left in it.
+// Three shapes are flagged, in every package:
+//
+//  1. a `x := pool.Get()` bind with no paired Put in the same block —
+//     neither `defer pool.Put(...)` after the Get nor an explicit
+//     `pool.Put(...)` with no return statement between the two;
+//  2. a pooled object escaping (passed bare to a call, assigned to
+//     another variable, returned) before any statement resets it — a
+//     write through the object (`x.f = ...`) or a method call on it
+//     (`x.Reset()`) counts as the reset; plain field reads are fine;
+//  3. `return pool.Get()` — the object leaves the function with neither
+//     reset nor Put visible to this analysis.
+//
+// Like locks, the pairing check is deliberately shallow (one block,
+// statement order). An ownership transfer that is correct by a contract
+// the analyzer cannot see — a constructor handing the object to a
+// caller that guarantees the release — carries a reasoned
+// //bgr:allow poolpair.
+var analyzerPoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "flags sync.Pool Get calls without a paired Put or a reset before reuse",
+	Run: func(pkg *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					out = append(out, checkPoolBlock(pkg, n)...)
+				case *ast.ReturnStmt:
+					for _, r := range n.Results {
+						if sel, ok := poolGetSel(pkg, r); ok {
+							out = append(out, pkg.diag(sel.Pos(), "poolpair",
+								"pooled object returned straight from %s.Get(): it leaves with neither a reset nor a paired Put; rebuild it here, or document the ownership transfer with a //bgr:allow", types.ExprString(sel.X)))
+						}
+					}
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// poolGetSel matches a sync.Pool Get call, looking through parentheses
+// and type assertions, and returns its selector (`pool.Get`).
+func poolGetSel(pkg *Package, e ast.Expr) (*ast.SelectorExpr, bool) {
+	for {
+		switch x := stripParens(e).(type) {
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return nil, false
+			}
+			if obj := pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "sync" && obj.Name() == "Get" {
+				return sel, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// poolPutStmt matches `pool.Put(...)` on the given pool expression, as a
+// plain statement (deferred=false) or `defer pool.Put(...)`.
+func poolPutStmt(pkg *Package, st ast.Stmt, pool string) (deferred, ok bool) {
+	var call *ast.CallExpr
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call, deferred = s.Call, true
+	}
+	if call == nil {
+		return false, false
+	}
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return false, false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" || obj.Name() != "Put" {
+		return false, false
+	}
+	return deferred, types.ExprString(sel.X) == pool
+}
+
+// checkPoolBlock scans one statement list for Get binds and verifies
+// pairing and reset-before-escape for each.
+func checkPoolBlock(pkg *Package, blk *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	for i, st := range blk.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			continue
+		}
+		for k := range as.Rhs {
+			sel, ok := poolGetSel(pkg, as.Rhs[k])
+			if !ok {
+				continue
+			}
+			pool := types.ExprString(sel.X)
+			id, _ := stripParens(as.Lhs[k]).(*ast.Ident)
+			var obj types.Object
+			if id != nil && id.Name != "_" {
+				obj = identObj(pkg, id)
+			}
+			rest := blk.List[i+1:]
+			if !poolPaired(pkg, rest, pool) {
+				out = append(out, pkg.diag(sel.Pos(), "poolpair",
+					"%s.Get() without a paired %s.Put on every return path: defer the Put right after the acquire, or Put before any return", pool, pool))
+			}
+			if obj != nil {
+				if pos, name, bad := escapeBeforeReset(pkg, rest, pool, obj); bad {
+					out = append(out, pkg.diag(pos, "poolpair",
+						"pooled object %q escapes before a reset: it still carries the previous user's state; zero it or call a reset method right after Get", name))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// poolPaired reports whether the statements after a Get contain a
+// release: a deferred Put anywhere, or an explicit Put not preceded by a
+// return statement.
+func poolPaired(pkg *Package, rest []ast.Stmt, pool string) bool {
+	for _, later := range rest {
+		if deferred, ok := poolPutStmt(pkg, later, pool); ok && deferred {
+			return true
+		}
+	}
+	for j, later := range rest {
+		if deferred, ok := poolPutStmt(pkg, later, pool); ok && !deferred {
+			return !containsReturn(rest[:j])
+		}
+	}
+	return false
+}
+
+// escapeBeforeReset walks the statements after a Get in order and
+// reports the first bare use of the pooled object that happens before
+// any reset of it. Tracking stops at an explicit Put (the object is
+// gone) or when the binding is reassigned.
+func escapeBeforeReset(pkg *Package, rest []ast.Stmt, pool string, obj types.Object) (token.Pos, string, bool) {
+	reset := false
+	for _, st := range rest {
+		if deferred, ok := poolPutStmt(pkg, st, pool); ok {
+			if deferred {
+				continue // release at function exit; the object is still live here
+			}
+			break
+		}
+		stop, resets := resetsPooled(pkg, st, obj)
+		if stop {
+			break
+		}
+		if resets {
+			reset = true
+			continue
+		}
+		if !reset {
+			if pos, ok := bareUse(pkg, st, obj); ok {
+				return pos, obj.Name(), true
+			}
+		}
+	}
+	return token.NoPos, "", false
+}
+
+// resetsPooled classifies one statement's effect on the pooled object:
+// stop=true when the binding is rebound to something else, resets=true
+// when the statement writes into the object or calls a method on it.
+func resetsPooled(pkg *Package, st ast.Stmt, obj types.Object) (stop, resets bool) {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			if id, ok := stripParens(l).(*ast.Ident); ok && identObj(pkg, id) == obj {
+				return true, false
+			}
+			if root := rootIdent(l); root != nil && identObj(pkg, root) == obj {
+				resets = true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if root := rootIdent(sel.X); root != nil && identObj(pkg, root) == obj {
+					return false, true
+				}
+			}
+		}
+	}
+	return false, resets
+}
+
+// rootIdent strips selector/index/star/slice layers down to the base
+// identifier, or nil when the base is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// bareUse finds an identifier resolving to obj used as a value — not as
+// the base of a field access or index, which is a read that cannot leak
+// the pointer itself.
+func bareUse(pkg *Package, n ast.Node, obj types.Object) (token.Pos, bool) {
+	shielded := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := stripParens(x.X).(*ast.Ident); ok {
+				shielded[id] = true
+			}
+		case *ast.IndexExpr:
+			if id, ok := stripParens(x.X).(*ast.Ident); ok {
+				shielded[id] = true
+			}
+		}
+		return true
+	})
+	var pos token.Pos
+	found := false
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := nd.(*ast.Ident); ok && !shielded[id] && identObj(pkg, id) == obj {
+			pos, found = id.Pos(), true
+		}
+		return !found
+	})
+	return pos, found
+}

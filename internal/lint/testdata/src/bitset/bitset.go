@@ -1,0 +1,63 @@
+// Fixture for the epochs analyzer's dirty-net bitset rule: the package
+// is named "core" so the deterministic-only analyzers run, and the
+// receiver is named "router" so the rule engages.
+package core
+
+type router struct {
+	dirtyBest   []uint64
+	chanNetBits [][]uint64
+	netChans    [][]int
+	lastOrd     bool
+}
+
+// newRouter lays out the bitsets; initializers are sanctioned.
+func newRouter(nets, chans int) *router {
+	r := &router{dirtyBest: make([]uint64, (nets+63)/64)}
+	r.chanNetBits = make([][]uint64, chans)
+	for ch := range r.chanNetBits {
+		r.chanNetBits[ch] = make([]uint64, len(r.dirtyBest))
+	}
+	return r
+}
+
+// markBestDirty is an owning mark method; the write is sanctioned.
+func (r *router) markBestDirty(n int) {
+	r.dirtyBest[n>>6] |= 1 << (uint(n) & 63)
+}
+
+// clearBestDirty is an owning clear method; the write is sanctioned.
+func (r *router) clearBestDirty(n int) {
+	r.dirtyBest[n>>6] &^= 1 << (uint(n) & 63)
+}
+
+// drainChanges consumes the pending channel changes; drains are
+// sanctioned.
+func (r *router) drainChanges(changed []int) {
+	for _, ch := range changed {
+		for w, m := range r.chanNetBits[ch] {
+			r.dirtyBest[w] |= m
+		}
+	}
+}
+
+func (r *router) selectShortcut(n int) {
+	r.dirtyBest[n>>6] &^= 1 << (uint(n) & 63) // want "write to dirty-net bitset field .dirtyBest. outside a mark/clear/drain method \(selectShortcut\)"
+}
+
+func (r *router) rebuildChans(n int, chans []int) {
+	for _, ch := range chans {
+		r.chanNetBits[ch][n>>6] |= 1 << (uint(n) & 63) // want "write to dirty-net bitset field .chanNetBits. outside a mark/clear/drain method \(rebuildChans\)"
+	}
+	r.netChans[n] = chans
+}
+
+// Pending only reads the bitset: clean.
+func (r *router) Pending(n int) bool {
+	return r.dirtyBest[n>>6]&(1<<(uint(n)&63)) != 0
+}
+
+// other has the same field names on a different receiver: the rule is
+// receiver-scoped, so this stays clean.
+type other struct{ dirtyBest []uint64 }
+
+func (o *other) lazy(n int) { o.dirtyBest[n>>6] = 0 }

@@ -1,0 +1,34 @@
+// Fixture for the hotalloc analyzer: the package is named "core" so it
+// counts as deterministic, and the helpers are //go:noinline so the
+// compiler attributes each allocation to its own body line instead of
+// folding it into the caller.
+package core
+
+var sink []int
+
+//go:noinline
+func fill(n int) {
+	buf := make([]int, n) // want "heap allocation in hot path: .* escapes to heap"
+	sink = buf
+}
+
+// hotLoop is the fixture's hot entry point: everything reachable from
+// here must be allocation-free or explicitly suppressed.
+//
+//bgr:hot
+func hotLoop(n int) {
+	fill(n)
+	hotAllowed(n)
+}
+
+//go:noinline
+func hotAllowed(n int) {
+	//bgr:allow hotalloc -- fixture: demonstrates inline suppression of a proven hot allocation
+	sink = append(sink, make([]int, n)...)
+}
+
+// coldSetup allocates too, but is not reachable from any bgr:hot entry
+// point: clean.
+func coldSetup(n int) {
+	sink = make([]int, n)
+}

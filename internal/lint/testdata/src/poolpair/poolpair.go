@@ -1,0 +1,88 @@
+// Fixture for the poolpair analyzer, which runs in every package (the
+// name deliberately stays outside the deterministic set).
+package poolpair
+
+import "sync"
+
+type obj struct {
+	n   int
+	buf []byte
+}
+
+func (o *obj) Reset() { o.n = 0; o.buf = o.buf[:0] }
+
+var pool = sync.Pool{New: func() any { return new(obj) }}
+
+func use(o *obj)   {}
+func useLen(n int) {}
+func sink(o *obj)  {}
+func cond() bool   { return false }
+
+// deferred pairs the Put right after the acquire: clean.
+func deferred() int {
+	o := pool.Get().(*obj)
+	defer pool.Put(o)
+	o.Reset()
+	use(o)
+	return o.n
+}
+
+// sequential resets, uses and releases with no return between: clean.
+func sequential() {
+	o := pool.Get().(*obj)
+	o.n = 0
+	use(o)
+	pool.Put(o)
+}
+
+func unpaired() {
+	o := pool.Get().(*obj) // want "pool\.Get\(\) without a paired pool\.Put on every return path"
+	o.Reset()
+	use(o)
+}
+
+func putAfterReturn() int {
+	o := pool.Get().(*obj) // want "pool\.Get\(\) without a paired pool\.Put on every return path"
+	o.Reset()
+	if cond() {
+		return 0
+	}
+	pool.Put(o)
+	return o.n
+}
+
+func unreset() {
+	o := pool.Get().(*obj)
+	defer pool.Put(o)
+	use(o) // want "pooled object .o. escapes before a reset"
+}
+
+func aliased() {
+	o := pool.Get().(*obj)
+	defer pool.Put(o)
+	p := o // want "pooled object .o. escapes before a reset"
+	p.Reset()
+}
+
+// readsOnly reads fields before the reset — reads cannot leak the
+// pointer, so this stays clean.
+func readsOnly() {
+	o := pool.Get().(*obj)
+	defer pool.Put(o)
+	useLen(o.n)
+	o.Reset()
+	use(o)
+}
+
+func leak() *obj {
+	return pool.Get().(*obj) // want "pooled object returned straight from pool\.Get\(\)"
+}
+
+// handover is the sanctioned constructor shape: ownership transfers to
+// the caller, and the paired release is a named counterpart.
+func handover() *obj {
+	//bgr:allow poolpair -- ownership transfers to the caller; release() is the paired Put
+	return pool.Get().(*obj)
+}
+
+func release(o *obj) { pool.Put(o) }

@@ -131,6 +131,8 @@ func Build(ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (
 // search builds and discards candidate graphs in a loop; recycling them
 // keeps that path off the allocator. recycled must not be in use anywhere
 // else — its previous contents are destroyed.
+//
+//bgr:hot
 func BuildInto(recycled *Graph, ckt *circuit.Circuit, geo *grid.Geometry, net int, feeds []FeedPos) (*Graph, error) {
 	g := recycled
 	if g == nil {

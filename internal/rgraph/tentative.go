@@ -30,6 +30,8 @@ var treePool = sync.Pool{New: func() any { return new(Tree) }}
 // GetTree returns a Tree from the package pool. Its slices keep whatever
 // capacity they had when released; the tentative-tree writers reslice and
 // overwrite them fully.
+//
+//bgr:allow poolpair -- ownership transfers to the caller; PutTree is the paired release and the tree is fully overwritten before reads
 func GetTree() *Tree { return treePool.Get().(*Tree) }
 
 // PutTree releases a Tree back to the pool. The caller must not retain any
@@ -100,8 +102,11 @@ func (q *pq) pop() pqItem {
 // share this workspace, so a Graph must not be used from two goroutines
 // concurrently (the router shards work by net, which guarantees that).
 type dijkstraWS struct {
-	dist  []float64
-	prev  []int32 // edge id arriving at v on the shortest path, -1 for source
+	//bgr:owned
+	dist []float64
+	//bgr:owned -- edge id arriving at v on the shortest path, -1 for source
+	prev []int32
+	//bgr:owned
 	stamp []uint32
 	gen   uint32
 	q     pq
@@ -261,6 +266,8 @@ func (g *Graph) Tentative() (*Tree, error) {
 // be nil). The returned tree aliases prev's slices when they fit, so prev
 // must not be read afterwards — the router's per-deletion tree refresh
 // would otherwise allocate three slices per deletion.
+//
+//bgr:hot
 func (g *Graph) TentativeInto(prev *Tree) (*Tree, error) {
 	return g.tentativeCostInto(-1, nil, prev)
 }
