@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,11 +19,17 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/chanroute"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/gen"
 	"repro/internal/report"
+
+	// The -bench per-engine smoke rows cover every registered engine.
+	_ "repro/internal/seqroute"
+	_ "repro/internal/steiner"
 )
 
 func main() {
@@ -153,8 +160,12 @@ var benchBaselineMs = map[string]float64{
 
 // benchEntry is one BENCH_route.json row.
 type benchEntry struct {
-	Name       string  `json:"name"`
-	Mode       string  `json:"mode"`
+	Name string `json:"name"`
+	Mode string `json:"mode"`
+	// Engine names the routing engine for the per-engine smoke rows;
+	// empty on the historical rows (the concurrent pipeline), so the
+	// pre-engine document trajectory is unchanged.
+	Engine     string  `json:"engine,omitempty"`
 	BaselineMs float64 `json:"baseline_ms"`
 	CurrentMs  float64 `json:"current_ms"`
 	Speedup    float64 `json:"speedup"`
@@ -218,6 +229,33 @@ func writeBench(path string, repeats int) error {
 				e.Name, e.Mode, e.CurrentMs, e.BaselineMs, e.Speedup, e.AllocsPerOp,
 				float64(e.PeakHeapBytes)/(1<<20))
 		}
+		// Per-engine smoke rows: the same constrained pipeline through
+		// every registered engine. Appended after the historical rows so
+		// existing consumers of the document see an unchanged prefix; the
+		// concurrent engine's row duplicates the constrained row above by
+		// construction, which makes engine overhead directly readable.
+		for _, engName := range engine.Names() {
+			best, allocs, peak, err := benchEngine(ckt, engName, repeats)
+			if err != nil {
+				return fmt.Errorf("%s engine %s: %w", name, engName, err)
+			}
+			e := benchEntry{
+				Name:          name,
+				Mode:          "constrained",
+				Engine:        engName,
+				BaselineMs:    benchBaselineMs[name+"/constrained"],
+				CurrentMs:     float64(best) / float64(time.Millisecond),
+				AllocsPerOp:   allocs,
+				PeakHeapBytes: peak,
+			}
+			if e.BaselineMs > 0 && e.CurrentMs > 0 {
+				e.Speedup = e.BaselineMs / e.CurrentMs
+			}
+			doc.Entries = append(doc.Entries, e)
+			fmt.Printf("bench %-6s engine=%-11s %8.2f ms (baseline %6.1f ms, %.2fx)  %8d allocs/op  heap %5.1f MB\n",
+				e.Name, e.Engine, e.CurrentMs, e.BaselineMs, e.Speedup, e.AllocsPerOp,
+				float64(e.PeakHeapBytes)/(1<<20))
+		}
 	}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -227,12 +265,36 @@ func writeBench(path string, repeats int) error {
 }
 
 func benchOne(ckt *circuit.Circuit, cfg core.Config, repeats int) (best time.Duration, allocs, peak uint64, err error) {
+	return benchLoop(repeats, func() error {
+		_, err := experiment.RunCircuit(ckt, cfg)
+		return err
+	})
+}
+
+// benchEngine times the same full pipeline (route + channel route +
+// final delay) going through a named registered engine.
+func benchEngine(ckt *circuit.Circuit, engName string, repeats int) (best time.Duration, allocs, peak uint64, err error) {
+	return benchLoop(repeats, func() error {
+		res, err := engine.Route(context.Background(), engName, ckt, engine.Config{UseConstraints: true})
+		if err != nil {
+			return err
+		}
+		cr, err := chanroute.Route(res.Ckt, res.Graphs)
+		if err != nil {
+			return err
+		}
+		_, _, err = experiment.FinalDelay(res.Ckt, cr.NetLenUm)
+		return err
+	})
+}
+
+func benchLoop(repeats int, run func() error) (best time.Duration, allocs, peak uint64, err error) {
 	var ms runtime.MemStats
 	for i := 0; i < repeats; i++ {
 		runtime.ReadMemStats(&ms)
 		m0 := ms.Mallocs
 		start := time.Now()
-		if _, err := experiment.RunCircuit(ckt, cfg); err != nil {
+		if err := run(); err != nil {
 			return 0, 0, 0, err
 		}
 		d := time.Since(start)

@@ -10,7 +10,13 @@
 //	bgr-route -dataset C1P1 -fig 4 -channel 2
 //	bgr-route -i design.ckt -fig 3 -net n0042
 //	bgr-route -i design.ckt -elmore -r 0.0005 -trace
+//	bgr-route -i design.ckt -engine steiner
 //	bgr-route -wire 127.0.0.1:8081 -i design.ckt -timing
+//
+// -engine selects the routing engine: "concurrent" (the paper's router,
+// default), "sequential" (net-at-a-time baseline) or "steiner"
+// (timing-constrained cost-distance Steiner trees). It works both
+// locally and with -wire.
 //
 // With -wire the circuit is not routed locally: it is submitted to a
 // running bgr-serve wire listener over the binary protocol, and the
@@ -19,6 +25,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,8 +34,8 @@ import (
 
 	"repro/internal/chanroute"
 	"repro/internal/circuit"
-	"repro/internal/core"
 	"repro/internal/dgraph"
+	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/gen"
 	"repro/internal/lowerbound"
@@ -38,6 +45,12 @@ import (
 	"repro/internal/service"
 	"repro/internal/verify"
 	"repro/internal/wire"
+
+	// Register every routing engine for -engine (and so the summary can
+	// list them on a bad name).
+	_ "repro/internal/core"
+	_ "repro/internal/seqroute"
+	_ "repro/internal/steiner"
 )
 
 func main() {
@@ -62,6 +75,7 @@ func main() {
 		phases  = flag.Bool("phases", false, "print the per-phase wall-clock breakdown")
 		workers = flag.Int("workers", 0, "candidate-scoring workers (0 = one per CPU, 1 = sequential; result is identical)")
 		wireTo  = flag.String("wire", "", "route remotely: submit to a bgr-serve wire listener at this address")
+		engName = flag.String("engine", "", "routing engine: concurrent (default), sequential, steiner")
 	)
 	flag.Parse()
 
@@ -78,7 +92,7 @@ func main() {
 			jc.DelayModel = "elmore"
 			jc.RPerUm = *rPerUm
 		}
-		if err := routeRemote(*wireTo, *in, *dataset, jc, remoteOut{
+		if err := routeRemote(*wireTo, *in, *dataset, jc, *engName, remoteOut{
 			db: *dbOut, svg: *svgOut, timing: *timing, layout: *layout,
 		}); err != nil {
 			fatal(err)
@@ -90,9 +104,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.Config{UseConstraints: !*uncon, Workers: *workers}
+	cfg := engine.Config{UseConstraints: !*uncon, Workers: *workers}
 	if *elmore {
-		cfg.DelayModel = core.Elmore
+		cfg.DelayModel = engine.Elmore
 		cfg.RPerUm = *rPerUm
 	}
 	if *trace {
@@ -106,7 +120,7 @@ func main() {
 		fmt.Print(s)
 		return
 	}
-	res, err := core.Route(ckt, cfg)
+	res, err := engine.Route(context.Background(), *engName, ckt, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -225,7 +239,7 @@ func main() {
 	}
 	fmt.Printf("circuit      %s (%d cells, %d nets, %d constraints)\n",
 		ckt.Name, len(ckt.Cells), len(ckt.Nets), len(ckt.Cons))
-	fmt.Printf("mode         constraints=%v model=%v\n", cfg.UseConstraints, modelName(cfg))
+	fmt.Printf("mode         engine=%s constraints=%v model=%v\n", res.Engine, cfg.UseConstraints, modelName(cfg))
 	fmt.Printf("delay        %.1f ps (estimate %.1f ps, lower bound %.1f ps)\n", delay, res.Delay, lb)
 	if lb > 0 {
 		fmt.Printf("vs bound     +%.1f%%\n", (delay-lb)/lb*100)
@@ -258,8 +272,10 @@ type remoteOut struct {
 
 // routeRemote submits the circuit to a bgr-serve wire listener, waits
 // for the job, fetches the requested artifacts over the same pipelined
-// connection, and prints the routed summary.
-func routeRemote(addr, in, dataset string, jc service.JobConfig, out remoteOut) error {
+// connection, and prints the routed summary. A non-default engineName
+// rides the TSubmitV2 frame's engine field; the default stays on the v1
+// frame for old-server interop.
+func routeRemote(addr, in, dataset string, jc service.JobConfig, engineName string, out remoteOut) error {
 	cktText, err := circuitText(in, dataset)
 	if err != nil {
 		return err
@@ -274,7 +290,7 @@ func routeRemote(addr, in, dataset string, jc service.JobConfig, out remoteOut) 
 	}
 	defer c.Close()
 
-	rep, err := c.Submit(cktText, cfgJSON, 0)
+	rep, err := c.SubmitEngine(cktText, cfgJSON, engineName, 0)
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
@@ -332,7 +348,7 @@ func routeRemote(addr, in, dataset string, jc service.JobConfig, out remoteOut) 
 		return fmt.Errorf("job %s finished without a summary", st.ID)
 	}
 	fmt.Printf("circuit      %s (%d nets, %d constraints)\n", st.Circuit, s.Nets, s.Constraints)
-	fmt.Printf("mode         constraints=%v model=%s\n", jc.UseConstraints, remoteModelName(jc))
+	fmt.Printf("mode         engine=%s constraints=%v model=%s\n", st.Engine, jc.UseConstraints, remoteModelName(jc))
 	fmt.Printf("delay        %.1f ps\n", s.DelayPs)
 	fmt.Printf("violations   %d\n", s.Violations)
 	fmt.Printf("area         %.3f mm²\n", s.AreaMm2)
@@ -401,8 +417,8 @@ func load(in, dataset string) (*circuit.Circuit, error) {
 	return nil, fmt.Errorf("need -i <file> or -dataset <name>")
 }
 
-func modelName(cfg core.Config) string {
-	if cfg.DelayModel == core.Elmore {
+func modelName(cfg engine.Config) string {
+	if cfg.DelayModel == engine.Elmore {
 		return "elmore"
 	}
 	return "lumped"

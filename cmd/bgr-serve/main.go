@@ -21,11 +21,19 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/journal"
 	"repro/internal/service"
+
+	// Register every routing engine: jobs select one with the "engine"
+	// config field (docs/SERVICE.md). The concurrent default comes in
+	// with package service itself.
+	_ "repro/internal/seqroute"
+	_ "repro/internal/steiner"
 )
 
 func main() {
@@ -105,6 +113,8 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("bgr-serve: listening on http://%s/ (workers=%d queue=%d cache=%d)\n",
 		*addr, *workers, *queue, *cache)
+	fmt.Printf("bgr-serve: engines: %s (default %s)\n",
+		strings.Join(engine.Names(), ", "), engine.DefaultName)
 
 	var wireLn net.Listener
 	if *wireAddr != "" {

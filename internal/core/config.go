@@ -20,18 +20,27 @@
 // widens the chip when feedthroughs run out.
 package core
 
-import "io"
+import (
+	"io"
+
+	"repro/internal/engine"
+)
+
+// The delay-model, ordering, progress, phase-stat and result types are
+// shared by every routing engine and live in internal/engine; the aliases
+// keep this package's historical API (core.Config literals, core.Result
+// consumers) source-compatible.
 
 // DelayModel selects how net delays are derived from routed trees.
-type DelayModel int
+type DelayModel = engine.DelayModel
 
 const (
 	// Lumped is the paper's capacitance model: every sink of a net sees
 	// (Σ Fin)·Tf + CL·Td with CL from the total tree length.
-	Lumped DelayModel = iota
+	Lumped = engine.Lumped
 	// Elmore is the §2.1 RC extension: per-sink Elmore delays over the
 	// tentative tree plus the lumped driver terms.
-	Elmore
+	Elmore = engine.Elmore
 )
 
 // Config controls a routing run.
@@ -99,32 +108,18 @@ type Config struct {
 }
 
 // OrderStrategy selects the net order for feedthrough assignment (§3.1).
-type OrderStrategy int
+type OrderStrategy = engine.OrderStrategy
 
 const (
 	// OrderSlack is the paper's ascending static slack.
-	OrderSlack OrderStrategy = iota
+	OrderSlack = engine.OrderSlack
 	// OrderIndex takes nets in index order.
-	OrderIndex
+	OrderIndex = engine.OrderIndex
 	// OrderHPWL assigns the longest half-perimeter nets first.
-	OrderHPWL
+	OrderHPWL = engine.OrderHPWL
 	// OrderFanout assigns the highest-fanout nets first.
-	OrderFanout
+	OrderFanout = engine.OrderFanout
 )
-
-func (s OrderStrategy) String() string {
-	switch s {
-	case OrderSlack:
-		return "slack"
-	case OrderIndex:
-		return "index"
-	case OrderHPWL:
-		return "hpwl"
-	case OrderFanout:
-		return "fanout"
-	}
-	return "?"
-}
 
 func (c Config) maxPasses() int {
 	if c.MaxPasses <= 0 {

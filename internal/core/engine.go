@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/circuit"
+	"repro/internal/engine"
+)
+
+// The progress, phase-stat and result types are shared by every routing
+// engine; the canonical definitions live in internal/engine and are
+// aliased here so historical consumers of core keep compiling unchanged.
+
+// Progress is a point-in-time snapshot of a running phase, delivered to
+// Config.Progress.
+type Progress = engine.Progress
+
+// PhaseStat records one Fig. 2 phase for tracing and experiments.
+type PhaseStat = engine.PhaseStat
+
+// Result is a finished global routing.
+type Result = engine.Result
+
+// fromShared maps the shared engine configuration onto this package's
+// Config. The concurrent engine has no use for Alpha/TargetTracks (those
+// drive the per-net engines) and exposes its ablation switches
+// (NoTentativeCache, ArbitraryNetOrder) only on its own Config.
+func fromShared(cfg engine.Config) Config {
+	return Config{
+		UseConstraints:  cfg.UseConstraints,
+		DelayModel:      cfg.DelayModel,
+		RPerUm:          cfg.RPerUm,
+		AreaFirst:       cfg.AreaFirst,
+		SkipImprovement: cfg.SkipImprovement,
+		MaxPasses:       cfg.MaxPasses,
+		Order:           cfg.Order,
+		NoFeedReroute:   cfg.NoFeedReroute,
+		Workers:         cfg.Workers,
+		Trace:           cfg.Trace,
+		Progress:        cfg.Progress,
+	}
+}
+
+// concurrentEngine adapts this package to the engine registry under the
+// default name. The adapter is a stateless value; all run state lives in
+// the per-call router.
+type concurrentEngine struct{}
+
+func (concurrentEngine) Name() string { return engine.DefaultName }
+
+func (concurrentEngine) Capabilities() engine.Capabilities {
+	return engine.Capabilities{Progress: true, ECO: true, Phases: true}
+}
+
+func (concurrentEngine) Route(ctx context.Context, ckt *circuit.Circuit, cfg engine.Config) (*engine.Result, error) {
+	res, err := RouteCtx(ctx, ckt, fromShared(cfg))
+	if err != nil {
+		return nil, err
+	}
+	res.Engine = engine.DefaultName
+	return res, nil
+}
+
+func init() { engine.Register(concurrentEngine{}) }

@@ -16,94 +16,6 @@ import (
 	"repro/internal/rgraph"
 )
 
-// Progress is a point-in-time snapshot of a running phase, delivered to
-// Config.Progress. Counters are cumulative within the named phase.
-type Progress struct {
-	// Phase is the Fig. 2 phase name ("initial", "recover-violations",
-	// "improve-delay", "improve-area").
-	Phase     string
-	Deletions int
-	Reroutes  int
-	Accepted  int
-	// Violations is the number of constraints currently violated.
-	Violations int
-	// Done marks the phase-completion event.
-	Done bool
-}
-
-// PhaseStat records one Fig. 2 phase for tracing and experiments.
-type PhaseStat struct {
-	Name      string
-	Deletions int
-	// ByKind counts deletions per edge kind, indexed by rgraph.EKind
-	// (corr, branch, trunk, feed).
-	ByKind   [4]int
-	Reroutes int
-	Accepted int
-	Duration time.Duration
-	// SelectDuration is the part of Duration spent inside selectEdge —
-	// candidate scoring plus the cross-net argmin.
-	SelectDuration time.Duration
-	// SelectCalls counts selectEdge invocations in the phase.
-	SelectCalls int
-	// ScoredNets counts nets whose candidate ranking had to be recomputed
-	// (cache miss); ReusedNets counts nets served from the per-net cache.
-	// Their ratio is the effectiveness of the incremental engine.
-	ScoredNets int
-	ReusedNets int
-	// TimingDuration is the part of Duration spent inside Timing.Flush —
-	// the incremental re-analysis of constraints dirtied by rerouted nets.
-	TimingDuration time.Duration
-	// TimingFlushes counts Flush calls; TimingCons sums the constraints
-	// each flush actually re-analyzed (the dirty-set sizes).
-	TimingFlushes int
-	TimingCons    int
-}
-
-// Result is a finished global routing.
-type Result struct {
-	// Ckt is the routed circuit; when feed cells were inserted it is a
-	// widened copy of the input (AddedPitches > 0).
-	Ckt *circuit.Circuit
-	Geo *grid.Geometry
-	// Feeds per net, as assigned.
-	Feeds [][]rgraph.FeedPos
-	// Graphs hold the final interconnection trees (IsTree() holds).
-	Graphs []*rgraph.Graph
-	// WirelenUm is the estimated routed length per net, µm.
-	WirelenUm []float64
-	// TotalWirelenUm sums WirelenUm.
-	TotalWirelenUm float64
-	// Timing is the final analysis (constraints evaluated even for
-	// unconstrained runs).
-	Timing *dgraph.Timing
-	// Delay is the worst constrained-path delay, ps (0 if no constraints).
-	Delay float64
-	// Dens is the final channel-density state.
-	Dens *density.State
-	// AddedPitches is the §4.3 chip widening, columns.
-	AddedPitches int
-	// Phases traces the run.
-	Phases []PhaseStat
-	// Duration is the total wall-clock time of the run, including
-	// feedthrough assignment and setup (not just the phase loop).
-	Duration time.Duration
-}
-
-// Margin returns the final margin of constraint p.
-func (res *Result) Margin(p int) float64 { return res.Timing.Cons[p].Margin }
-
-// Violations counts constraints with negative margin.
-func (res *Result) Violations() int {
-	v := 0
-	for p := range res.Timing.Cons {
-		if res.Timing.Cons[p].Margin < 0 {
-			v++
-		}
-	}
-	return v
-}
-
 type router struct {
 	ctx    context.Context
 	cfg    Config

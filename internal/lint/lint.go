@@ -141,6 +141,7 @@ var deterministicPkgs = map[string]bool{
 	"chanroute": true,
 	"feed":      true,
 	"seqroute":  true,
+	"steiner":   true,
 	"routedb":   true,
 }
 

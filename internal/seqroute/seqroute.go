@@ -12,16 +12,25 @@
 // (edge cost = length · (1 + α·overflow)), commits its density, and moves
 // on. Earlier nets never see later nets' congestion — the fundamental
 // weakness the paper's concurrent scheme removes.
+//
+// Config defaults (applied through withDefaults, in one place): an unset
+// Alpha is 0.35, and an unset TargetTracks is derived from the average
+// per-channel demand of the (possibly widened) circuit — total
+// half-perimeter column demand spread over channels × columns, floored
+// at one track.
 package seqroute
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/density"
 	"repro/internal/dgraph"
+	"repro/internal/engine"
 	"repro/internal/feed"
 	"repro/internal/grid"
 	"repro/internal/rgraph"
@@ -32,12 +41,29 @@ type Config struct {
 	// UseConstraints orders nets by static slack (as the paper's router
 	// does); without it nets route in index order.
 	UseConstraints bool
-	// Alpha scales the congestion penalty; 0 routes pure shortest paths.
-	// Default 0.35.
+	// Alpha scales the congestion penalty; 0 means the default of 0.35.
+	// (Pure shortest paths need a negative sentinel nobody uses; the
+	// experiments always want some congestion pressure.)
 	Alpha float64
 	// TargetTracks is the per-channel density above which congestion
 	// starts to cost. 0 derives it from the average demand.
 	TargetTracks int
+	// Progress, when non-nil, receives a snapshot at phase start, after
+	// every committed net, and a final Done snapshot.
+	Progress func(engine.Progress)
+}
+
+// withDefaults resolves the zero-value knobs — the single place defaults
+// are applied. It runs after feedthrough assignment so the demand-derived
+// TargetTracks sees the widened chip.
+func (cfg Config) withDefaults(ckt *circuit.Circuit) Config {
+	if cfg.Alpha == 0 { //bgr:allow floateq -- zero-value Config sentinel: an unset Alpha is exactly 0
+		cfg.Alpha = 0.35
+	}
+	if cfg.TargetTracks <= 0 {
+		cfg.TargetTracks = estimateTarget(ckt)
+	}
+	return cfg
 }
 
 // Result mirrors the concurrent router's result shape (the subset the
@@ -49,18 +75,23 @@ type Result struct {
 	Graphs         []*rgraph.Graph
 	WirelenUm      []float64
 	TotalWirelenUm float64
-	Dens           *density.State
-	Delay          float64 // worst constrained-path delay, estimated
-	AddedPitches   int
+	// Timing is the final analysis over the committed trees.
+	Timing       *dgraph.Timing
+	Dens         *density.State
+	Delay        float64 // worst constrained-path delay, estimated
+	AddedPitches int
 }
 
 // Route runs the baseline.
 func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
+	return RouteCtx(context.Background(), ckt, cfg)
+}
+
+// RouteCtx runs the baseline, aborting between nets when ctx is
+// cancelled.
+func RouteCtx(ctx context.Context, ckt *circuit.Circuit, cfg Config) (*Result, error) {
 	if err := ckt.Validate(); err != nil {
 		return nil, fmt.Errorf("seqroute: %w", err)
-	}
-	if cfg.Alpha == 0 { //bgr:allow floateq -- zero-value Config sentinel: an unset Alpha is exactly 0
-		cfg.Alpha = 0.35
 	}
 	var order []int
 	if cfg.UseConstraints {
@@ -74,16 +105,13 @@ func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults(fr.Ckt)
 	res := &Result{
 		Ckt: fr.Ckt, Geo: fr.Geo, Feeds: fr.Feeds,
 		Graphs:       make([]*rgraph.Graph, len(fr.Ckt.Nets)),
 		WirelenUm:    make([]float64, len(fr.Ckt.Nets)),
 		Dens:         density.New(fr.Ckt.Channels(), fr.Ckt.Cols),
 		AddedPitches: fr.AddedPitches,
-	}
-	target := cfg.TargetTracks
-	if target <= 0 {
-		target = estimateTarget(fr.Ckt)
 	}
 
 	full := order
@@ -93,20 +121,31 @@ func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
 			full[i] = i
 		}
 	}
+	if cfg.Progress != nil {
+		cfg.Progress(engine.Progress{Phase: "route"})
+	}
+	routed := 0
 	done := make([]bool, len(fr.Ckt.Nets))
 	for _, n := range full {
 		if done[n] {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		nets := []int{n}
 		if m := fr.Ckt.Nets[n].DiffMate; m != circuit.NoNet {
 			nets = append(nets, m)
 		}
 		for _, nn := range nets {
-			if err := routeNet(res, nn, cfg, target); err != nil {
+			if err := routeNet(res, nn, cfg); err != nil {
 				return nil, err
 			}
 			done[nn] = true
+			routed++
+			if cfg.Progress != nil {
+				cfg.Progress(engine.Progress{Phase: "route", Accepted: routed})
+			}
 		}
 	}
 	// Final timing on the committed trees.
@@ -117,25 +156,33 @@ func Route(ckt *circuit.Circuit, cfg Config) (*Result, error) {
 	tm := dg.NewTiming()
 	tm.SetLumped(res.WirelenUm)
 	tm.Analyze()
+	res.Timing = tm
+	violations := 0
 	for p := range tm.Cons {
 		if tm.Cons[p].Worst > res.Delay {
 			res.Delay = tm.Cons[p].Worst
 		}
+		if tm.Cons[p].Margin < 0 {
+			violations++
+		}
 	}
 	for _, l := range res.WirelenUm {
 		res.TotalWirelenUm += l
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(engine.Progress{Phase: "route", Accepted: routed, Violations: violations, Done: true})
 	}
 	return res, nil
 }
 
 // routeNet routes one net by a congestion-weighted tentative tree and
 // commits it: every edge outside the selected tree is discarded.
-func routeNet(res *Result, n int, cfg Config, target int) error {
+func routeNet(res *Result, n int, cfg Config) error {
 	g, err := rgraph.Build(res.Ckt, res.Geo, n, res.Feeds[n])
 	if err != nil {
 		return err
 	}
-	tree, err := congestionTree(g, res.Dens, cfg.Alpha, target)
+	tree, err := congestionTree(g, res.Dens, cfg.Alpha, cfg.TargetTracks)
 	if err != nil {
 		return err
 	}
@@ -213,3 +260,41 @@ func slackOrder(dg *dgraph.Graph) []int {
 	sort.SliceStable(order, func(a, b int) bool { return slacks[order[a]] < slacks[order[b]] })
 	return order
 }
+
+// sequentialEngine adapts the baseline to the engine registry.
+type sequentialEngine struct{}
+
+func (sequentialEngine) Name() string { return "sequential" }
+
+func (sequentialEngine) Capabilities() engine.Capabilities {
+	return engine.Capabilities{Progress: true}
+}
+
+func (sequentialEngine) Route(ctx context.Context, ckt *circuit.Circuit, cfg engine.Config) (*engine.Result, error) {
+	start := time.Now() //bgr:allow clockuse -- profiling only
+	res, err := RouteCtx(ctx, ckt, Config{
+		UseConstraints: cfg.UseConstraints,
+		Alpha:          cfg.Alpha,
+		TargetTracks:   cfg.TargetTracks,
+		Progress:       cfg.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Result{
+		Engine:         "sequential",
+		Ckt:            res.Ckt,
+		Geo:            res.Geo,
+		Feeds:          res.Feeds,
+		Graphs:         res.Graphs,
+		WirelenUm:      res.WirelenUm,
+		TotalWirelenUm: res.TotalWirelenUm,
+		Timing:         res.Timing,
+		Delay:          res.Delay,
+		Dens:           res.Dens,
+		AddedPitches:   res.AddedPitches,
+		Duration:       time.Since(start), //bgr:allow clockuse -- profiling only
+	}, nil
+}
+
+func init() { engine.Register(sequentialEngine{}) }

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
-	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // State is a job's lifecycle state.
@@ -84,10 +84,13 @@ type ProgressInfo struct {
 
 // Status is the externally visible snapshot of a job.
 type Status struct {
-	ID       string        `json:"id"`
-	State    State         `json:"state"`
-	Cached   bool          `json:"cached,omitempty"`
-	Error    string        `json:"error,omitempty"`
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Engine is the routing engine the job runs with ("" on jobs
+	// replayed from a journal written before engines existed).
+	Engine   string        `json:"engine,omitempty"`
 	Circuit  string        `json:"circuit"`
 	Progress *ProgressInfo `json:"progress,omitempty"`
 	Phases   []PhaseInfo   `json:"phases,omitempty"`
@@ -107,9 +110,13 @@ type Job struct {
 	// name is the circuit name, kept separately from ckt so jobs
 	// rebuilt from the journal (which never re-parse the circuit) can
 	// still report it.
-	name    string
-	ckt     *circuit.Circuit
-	cfg     core.Config
+	name string
+	ckt  *circuit.Circuit
+	// eng routes the job; engName is kept separately so jobs rebuilt
+	// from the journal can report the engine without resolving it.
+	eng     engine.Engine
+	engName string
+	cfg     engine.Config
 	greedy  bool
 	timeout time.Duration
 
@@ -138,6 +145,7 @@ func (j *Job) Snapshot() Status {
 		State:      j.state,
 		Cached:     j.cached,
 		Error:      j.errMsg,
+		Engine:     j.engName,
 		Circuit:    j.name,
 		PanicStack: j.stack,
 	}
@@ -172,7 +180,7 @@ func (j *Job) Payload() *Payload {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-func (j *Job) setProgress(p core.Progress) {
+func (j *Job) setProgress(p engine.Progress) {
 	j.mu.Lock()
 	j.progress = &ProgressInfo{Phase: p.Phase, Deletions: p.Deletions,
 		Reroutes: p.Reroutes, Accepted: p.Accepted, Violations: p.Violations}
@@ -233,7 +241,7 @@ func (j *Job) requestCancel() (State, bool) {
 	}
 }
 
-func phaseInfos(stats []core.PhaseStat) []PhaseInfo {
+func phaseInfos(stats []engine.PhaseStat) []PhaseInfo {
 	out := make([]PhaseInfo, len(stats))
 	for i, ps := range stats {
 		out[i] = PhaseInfo{

@@ -20,16 +20,24 @@ import (
 // failed with their dedupe slot free, so resubmitting re-routes fresh —
 // the same contract PR 5 established for panicking runs.
 
+// Every record carries the engine name (omitempty: records written
+// before engines existed decode with Engine == "", and replay surfaces
+// that as an unlabelled job). The content hash already folds the engine
+// in — JobConfig.Engine is part of the canonical config JSON — so
+// replayed results re-warm the cache per engine with no extra keying.
+
 type jrecSubmitted struct {
 	ID      string `json:"id"`
 	Hash    string `json:"hash"`
 	Circuit string `json:"circuit"` // circuit name, for status snapshots
+	Engine  string `json:"engine,omitempty"`
 }
 
 type jrecTerminal struct {
 	ID      string `json:"id"`
 	Hash    string `json:"hash"`
 	Circuit string `json:"circuit"`
+	Engine  string `json:"engine,omitempty"`
 	State   State  `json:"state"`
 	Error   string `json:"error,omitempty"`
 	Cached  bool   `json:"cached,omitempty"`
@@ -37,6 +45,7 @@ type jrecTerminal struct {
 
 type jrecResult struct {
 	Hash    string      `json:"hash"`
+	Engine  string      `json:"engine,omitempty"`
 	RouteDB []byte      `json:"routedb"` // exact bytes routedb.Marshal emitted
 	Timing  string      `json:"timing"`
 	SVG     string      `json:"svg"`
@@ -59,7 +68,7 @@ func (s *Server) journalSubmittedLocked(j *Job) {
 	if s.jl == nil {
 		return
 	}
-	b, err := json.Marshal(jrecSubmitted{ID: j.ID, Hash: j.Hash, Circuit: j.name})
+	b, err := json.Marshal(jrecSubmitted{ID: j.ID, Hash: j.Hash, Circuit: j.name, Engine: j.engName})
 	if err == nil {
 		err = s.jl.Append(journal.KindSubmitted, b)
 	}
@@ -75,7 +84,7 @@ func (s *Server) journalTerminalLocked(j *Job) {
 		return
 	}
 	j.mu.Lock()
-	rec := jrecTerminal{ID: j.ID, Hash: j.Hash, Circuit: j.name,
+	rec := jrecTerminal{ID: j.ID, Hash: j.Hash, Circuit: j.name, Engine: j.engName,
 		State: j.state, Error: j.errMsg, Cached: j.cached}
 	j.mu.Unlock()
 	b, err := json.Marshal(rec)
@@ -90,12 +99,13 @@ func (s *Server) journalTerminalLocked(j *Job) {
 // journalResultLocked appends a finished payload keyed by content hash;
 // s.mu must be held. Hashes already journaled are skipped — the payload
 // is deterministic, so the first record is as good as the last.
-func (s *Server) journalResultLocked(hash string, p *Payload, phases []PhaseInfo) {
+func (s *Server) journalResultLocked(hash, engineName string, p *Payload, phases []PhaseInfo) {
 	if s.jl == nil || p == nil || s.journaledResults[hash] {
 		return
 	}
 	b, err := json.Marshal(jrecResult{
 		Hash:    hash,
+		Engine:  engineName,
 		RouteDB: p.RouteDB,
 		Timing:  p.Timing,
 		SVG:     p.SVG,
@@ -211,13 +221,14 @@ func (s *Server) replayJournal(recs []journal.Record) {
 		tr := &terminals[i]
 		ended[tr.ID] = true
 		j := &Job{
-			ID:     tr.ID,
-			Hash:   tr.Hash,
-			name:   tr.Circuit,
-			state:  tr.State,
-			errMsg: tr.Error,
-			cached: tr.Cached,
-			done:   make(chan struct{}),
+			ID:      tr.ID,
+			Hash:    tr.Hash,
+			name:    tr.Circuit,
+			engName: tr.Engine,
+			state:   tr.State,
+			errMsg:  tr.Error,
+			cached:  tr.Cached,
+			done:    make(chan struct{}),
 		}
 		if tr.State == Done {
 			if e, ok := results[tr.Hash]; ok {
@@ -242,12 +253,13 @@ func (s *Server) replayJournal(recs []journal.Record) {
 		}
 		ended[sr.ID] = true
 		addJob(&Job{
-			ID:     sr.ID,
-			Hash:   sr.Hash,
-			name:   sr.Circuit,
-			state:  Failed,
-			errMsg: "interrupted by server restart; resubmit to re-route",
-			done:   make(chan struct{}),
+			ID:      sr.ID,
+			Hash:    sr.Hash,
+			name:    sr.Circuit,
+			engName: sr.Engine,
+			state:   Failed,
+			errMsg:  "interrupted by server restart; resubmit to re-route",
+			done:    make(chan struct{}),
 		})
 	}
 	// Warm the cache in journal order so the newest results win the LRU.

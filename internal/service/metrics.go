@@ -70,6 +70,9 @@ type metrics struct {
 	panics    atomic.Int64 // routing panics recovered by the worker boundary
 	evicted   atomic.Int64 // terminal jobs evicted by the retention policy
 	rejected  atomic.Int64 // submissions refused by a size cap (HTTP 413)
+	// rejectedBadEngine counts submissions naming an unregistered engine,
+	// refused at admission (HTTP 400 / wire CodeBadRequest).
+	rejectedBadEngine atomic.Int64
 
 	netsScored atomic.Int64 // per-net candidate scores recomputed
 	netsReused atomic.Int64 // per-net scores served from the selection cache
@@ -84,22 +87,40 @@ type metrics struct {
 	phases  map[string]*histogram // per-phase routing latency
 	selects map[string]*histogram // per-phase time inside selectEdge
 	timings map[string]*histogram // per-phase time inside Timing.Flush
-	jobs    histogram             // end-to-end job latency
+	// enginePhases is the per-engine view of the phase latencies, keyed
+	// "engine/phase"; jobsByEngine counts completed jobs per engine.
+	enginePhases map[string]*histogram
+	jobsByEngine map[string]int64
+	jobs         histogram // end-to-end job latency
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		phases:  make(map[string]*histogram),
-		selects: make(map[string]*histogram),
-		timings: make(map[string]*histogram),
+		phases:       make(map[string]*histogram),
+		selects:      make(map[string]*histogram),
+		timings:      make(map[string]*histogram),
+		enginePhases: make(map[string]*histogram),
+		jobsByEngine: make(map[string]int64),
 	}
 }
 
-func (m *metrics) observeJob(total time.Duration, phases []PhaseInfo) {
+func (m *metrics) observeJob(engineName string, total time.Duration, phases []PhaseInfo) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.jobs.observe(total)
+	if engineName != "" {
+		m.jobsByEngine[engineName]++
+	}
 	for _, p := range phases {
+		if engineName != "" {
+			key := engineName + "/" + p.Name
+			eh := m.enginePhases[key]
+			if eh == nil {
+				eh = &histogram{}
+				m.enginePhases[key] = eh
+			}
+			eh.observe(time.Duration(p.DurationMs * float64(time.Millisecond)))
+		}
 		h := m.phases[p.Name]
 		if h == nil {
 			h = &histogram{}
@@ -160,66 +181,74 @@ func readRuntimeMemStats() RuntimeMemStats {
 
 // MetricsSnapshot is the /metrics document.
 type MetricsSnapshot struct {
-	JobsAccepted  int64                    `json:"jobs_accepted"`
-	JobsCompleted int64                    `json:"jobs_completed"`
-	JobsFailed    int64                    `json:"jobs_failed"`
-	JobsCancelled int64                    `json:"jobs_cancelled"`
-	JobsDeduped   int64                    `json:"jobs_deduped"`
-	CacheHits     int64                    `json:"cache_hits"`
-	CacheMisses   int64                    `json:"cache_misses"`
-	CacheEntries  int                      `json:"cache_entries"`
-	QueueDepth    int                      `json:"queue_depth"`
-	Workers       int                      `json:"workers"`
-	PanicsRecov   int64                    `json:"panics_recovered"`
-	JobsRetained  int                      `json:"jobs_retained"`
-	JobsEvicted   int64                    `json:"jobs_evicted"`
-	RejectedSize  int64                    `json:"rejected_too_large"`
-	NetsScored    int64                    `json:"nets_scored"`
-	NetsReused    int64                    `json:"nets_reused"`
-	WireConns     int64                    `json:"wire_conns"`
-	WireFrames    int64                    `json:"wire_frames"`
-	WireOversize  int64                    `json:"wire_rejected_oversize"`
-	JournalRecs   int64                    `json:"journal_records"`
-	JournalReplay int64                    `json:"journal_replayed"`
-	JournalBytes  int64                    `json:"journal_bytes"`
-	Runtime       RuntimeMemStats          `json:"runtime_mem"`
-	JobLatency    histogramJSON            `json:"job_latency_ms"`
-	PhaseLatency  map[string]histogramJSON `json:"phase_latency_ms"`
-	SelectLatency map[string]histogramJSON `json:"select_latency_ms"`
-	TimingLatency map[string]histogramJSON `json:"timing_latency_ms"`
+	JobsAccepted      int64                    `json:"jobs_accepted"`
+	JobsCompleted     int64                    `json:"jobs_completed"`
+	JobsFailed        int64                    `json:"jobs_failed"`
+	JobsCancelled     int64                    `json:"jobs_cancelled"`
+	JobsDeduped       int64                    `json:"jobs_deduped"`
+	CacheHits         int64                    `json:"cache_hits"`
+	CacheMisses       int64                    `json:"cache_misses"`
+	CacheEntries      int                      `json:"cache_entries"`
+	QueueDepth        int                      `json:"queue_depth"`
+	Workers           int                      `json:"workers"`
+	PanicsRecov       int64                    `json:"panics_recovered"`
+	JobsRetained      int                      `json:"jobs_retained"`
+	JobsEvicted       int64                    `json:"jobs_evicted"`
+	RejectedSize      int64                    `json:"rejected_too_large"`
+	RejectedBadEngine int64                    `json:"rejected_bad_engine"`
+	NetsScored        int64                    `json:"nets_scored"`
+	NetsReused        int64                    `json:"nets_reused"`
+	WireConns         int64                    `json:"wire_conns"`
+	WireFrames        int64                    `json:"wire_frames"`
+	WireOversize      int64                    `json:"wire_rejected_oversize"`
+	JournalRecs       int64                    `json:"journal_records"`
+	JournalReplay     int64                    `json:"journal_replayed"`
+	JournalBytes      int64                    `json:"journal_bytes"`
+	Runtime           RuntimeMemStats          `json:"runtime_mem"`
+	JobLatency        histogramJSON            `json:"job_latency_ms"`
+	PhaseLatency      map[string]histogramJSON `json:"phase_latency_ms"`
+	SelectLatency     map[string]histogramJSON `json:"select_latency_ms"`
+	TimingLatency     map[string]histogramJSON `json:"timing_latency_ms"`
+	// EnginePhaseLatency is PhaseLatency split per engine, keyed
+	// "engine/phase"; JobsByEngine counts completed jobs per engine.
+	EnginePhaseLatency map[string]histogramJSON `json:"engine_phase_latency_ms"`
+	JobsByEngine       map[string]int64         `json:"jobs_by_engine"`
 }
 
 func (m *metrics) snapshot(queueDepth, workers, cacheEntries, retained int, journalRecs, journalBytes int64) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := MetricsSnapshot{
-		JobsAccepted:  m.accepted.Load(),
-		JobsCompleted: m.completed.Load(),
-		JobsFailed:    m.failed.Load(),
-		JobsCancelled: m.cancelled.Load(),
-		JobsDeduped:   m.deduped.Load(),
-		CacheHits:     m.cacheHits.Load(),
-		CacheMisses:   m.cacheMiss.Load(),
-		CacheEntries:  cacheEntries,
-		QueueDepth:    queueDepth,
-		Workers:       workers,
-		PanicsRecov:   m.panics.Load(),
-		JobsRetained:  retained,
-		JobsEvicted:   m.evicted.Load(),
-		RejectedSize:  m.rejected.Load(),
-		NetsScored:    m.netsScored.Load(),
-		NetsReused:    m.netsReused.Load(),
-		WireConns:     m.wireConns.Load(),
-		WireFrames:    m.wireFrames.Load(),
-		WireOversize:  m.wireOversize.Load(),
-		JournalRecs:   journalRecs,
-		JournalReplay: m.journalReplayed.Load(),
-		JournalBytes:  journalBytes,
-		Runtime:       readRuntimeMemStats(),
-		JobLatency:    m.jobs.export(),
-		PhaseLatency:  make(map[string]histogramJSON, len(m.phases)),
-		SelectLatency: make(map[string]histogramJSON, len(m.selects)),
-		TimingLatency: make(map[string]histogramJSON, len(m.timings)),
+		JobsAccepted:       m.accepted.Load(),
+		JobsCompleted:      m.completed.Load(),
+		JobsFailed:         m.failed.Load(),
+		JobsCancelled:      m.cancelled.Load(),
+		JobsDeduped:        m.deduped.Load(),
+		CacheHits:          m.cacheHits.Load(),
+		CacheMisses:        m.cacheMiss.Load(),
+		CacheEntries:       cacheEntries,
+		QueueDepth:         queueDepth,
+		Workers:            workers,
+		PanicsRecov:        m.panics.Load(),
+		JobsRetained:       retained,
+		JobsEvicted:        m.evicted.Load(),
+		RejectedSize:       m.rejected.Load(),
+		RejectedBadEngine:  m.rejectedBadEngine.Load(),
+		NetsScored:         m.netsScored.Load(),
+		NetsReused:         m.netsReused.Load(),
+		WireConns:          m.wireConns.Load(),
+		WireFrames:         m.wireFrames.Load(),
+		WireOversize:       m.wireOversize.Load(),
+		JournalRecs:        journalRecs,
+		JournalReplay:      m.journalReplayed.Load(),
+		JournalBytes:       journalBytes,
+		Runtime:            readRuntimeMemStats(),
+		JobLatency:         m.jobs.export(),
+		PhaseLatency:       make(map[string]histogramJSON, len(m.phases)),
+		SelectLatency:      make(map[string]histogramJSON, len(m.selects)),
+		TimingLatency:      make(map[string]histogramJSON, len(m.timings)),
+		EnginePhaseLatency: make(map[string]histogramJSON, len(m.enginePhases)),
+		JobsByEngine:       make(map[string]int64, len(m.jobsByEngine)),
 	}
 	for _, name := range sortedKeys(m.phases) {
 		out.PhaseLatency[name] = m.phases[name].export()
@@ -229,6 +258,12 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries, retained int, jour
 	}
 	for _, name := range sortedKeys(m.timings) {
 		out.TimingLatency[name] = m.timings[name].export()
+	}
+	for _, name := range sortedKeys(m.enginePhases) {
+		out.EnginePhaseLatency[name] = m.enginePhases[name].export()
+	}
+	for name, n := range m.jobsByEngine {
+		out.JobsByEngine[name] = n
 	}
 	return out
 }

@@ -10,7 +10,13 @@
 // by the same content hash, so re-submitting a design is served instantly
 // and byte-identically. Each job runs under a context with a deadline;
 // cancelling a queued job is immediate, cancelling a running one aborts
-// core.RouteCtx between edge deletions.
+// the engine between routing steps.
+//
+// Each job routes with one registered engine (internal/engine), selected
+// by JobConfig.Engine; the empty string is the default concurrent
+// router, which this package links itself. Other engines are selectable
+// when the embedding binary imports them (bgr-serve imports all three).
+// Unknown engine names are rejected at admission with ErrBadEngine.
 package service
 
 import (
@@ -29,8 +35,8 @@ import (
 
 	"repro/internal/chanroute"
 	"repro/internal/circuit"
-	"repro/internal/core"
 	"repro/internal/dgraph"
+	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/faultinject"
 	"repro/internal/journal"
@@ -38,6 +44,11 @@ import (
 	"repro/internal/report"
 	"repro/internal/routedb"
 	"repro/internal/wire"
+
+	// The default engine is part of the service's contract: a Server can
+	// always route with "concurrent" even if the embedding binary imports
+	// nothing else.
+	_ "repro/internal/core"
 )
 
 // Errors surfaced to submitters.
@@ -49,6 +60,10 @@ var (
 	// ErrTooLarge: the submission exceeds a configured size cap — circuit
 	// bytes, nets or cells (HTTP 413). Checked before any routing work.
 	ErrTooLarge = errors.New("service: submission too large")
+	// ErrBadEngine: the submission names an engine that is not registered
+	// in this binary (HTTP 400). Checked at admission, before hashing or
+	// queueing; the error text lists the registered engines.
+	ErrBadEngine = errors.New("service: unknown engine")
 )
 
 // PanicError records a routing run that panicked: the worker recovered
@@ -180,9 +195,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// JobConfig is the client-facing subset of core.Config (plus the channel
-// router choice). Its canonical JSON form is part of the cache key.
+// JobConfig is the client-facing subset of the shared engine config
+// (plus the channel router choice). Its canonical JSON form is part of
+// the cache key; every field added since v1 is omitempty so default
+// submissions hash identically across versions and old journals keep
+// re-warming the cache.
 type JobConfig struct {
+	// Engine names the routing engine ("" = the default "concurrent";
+	// bgr-serve also registers "sequential" and "steiner"). Unknown names
+	// are rejected at admission with ErrBadEngine.
+	Engine          string  `json:"engine,omitempty"`
 	UseConstraints  bool    `json:"use_constraints"`
 	DelayModel      string  `json:"delay_model,omitempty"` // "", "lumped", "elmore"
 	RPerUm          float64 `json:"r_per_um,omitempty"`
@@ -196,6 +218,12 @@ type JobConfig struct {
 	// (0 = one per CPU, 1 = sequential). The routed result is byte-identical
 	// for every value, so it is safe in the cache key.
 	Workers int `json:"workers,omitempty"`
+	// Alpha and TargetTracks tune the per-net engines (sequential,
+	// steiner): congestion penalty scale (0 = engine default 0.35) and
+	// the per-channel density target (0 = derived from demand). The
+	// concurrent engine ignores both.
+	Alpha        float64 `json:"alpha,omitempty"`
+	TargetTracks int     `json:"target_tracks,omitempty"`
 }
 
 // DefaultJobConfig is used when a submission omits "config".
@@ -214,12 +242,19 @@ func (jc JobConfig) validate() error {
 	if jc.Workers < 0 {
 		return fmt.Errorf("workers %d must not be negative", jc.Workers)
 	}
+	if math.IsNaN(jc.Alpha) || math.IsInf(jc.Alpha, 0) || jc.Alpha < 0 {
+		return fmt.Errorf("alpha %v must be a finite non-negative number", jc.Alpha)
+	}
+	if jc.TargetTracks < 0 {
+		return fmt.Errorf("target_tracks %d must not be negative", jc.TargetTracks)
+	}
 	return nil
 }
 
-// toCore translates to a core.Config, rejecting unknown enum strings.
-func (jc JobConfig) toCore() (core.Config, error) {
-	cfg := core.Config{
+// toEngine translates to the shared engine.Config, rejecting unknown
+// enum strings.
+func (jc JobConfig) toEngine() (engine.Config, error) {
+	cfg := engine.Config{
 		UseConstraints:  jc.UseConstraints,
 		RPerUm:          jc.RPerUm,
 		AreaFirst:       jc.AreaFirst,
@@ -227,22 +262,24 @@ func (jc JobConfig) toCore() (core.Config, error) {
 		MaxPasses:       jc.MaxPasses,
 		NoFeedReroute:   jc.NoFeedReroute,
 		Workers:         jc.Workers,
+		Alpha:           jc.Alpha,
+		TargetTracks:    jc.TargetTracks,
 	}
 	switch jc.DelayModel {
 	case "", "lumped":
 	case "elmore":
-		cfg.DelayModel = core.Elmore
+		cfg.DelayModel = engine.Elmore
 	default:
 		return cfg, fmt.Errorf("unknown delay_model %q", jc.DelayModel)
 	}
 	switch jc.Order {
 	case "", "slack":
 	case "index":
-		cfg.Order = core.OrderIndex
+		cfg.Order = engine.OrderIndex
 	case "hpwl":
-		cfg.Order = core.OrderHPWL
+		cfg.Order = engine.OrderHPWL
 	case "fanout":
-		cfg.Order = core.OrderFanout
+		cfg.Order = engine.OrderFanout
 	default:
 		return cfg, fmt.Errorf("unknown order %q", jc.Order)
 	}
@@ -486,7 +523,12 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
 	if err := jc.validate(); err != nil {
 		return SubmitResult{}, fmt.Errorf("bad config: %w", err)
 	}
-	cfg, err := jc.toCore()
+	eng, ok := engine.Get(jc.Engine)
+	if !ok {
+		s.metrics.rejectedBadEngine.Add(1)
+		return SubmitResult{}, fmt.Errorf("%w %q (registered: %s)", ErrBadEngine, jc.Engine, strings.Join(engine.Names(), ", "))
+	}
+	cfg, err := jc.toEngine()
 	if err != nil {
 		return SubmitResult{}, err
 	}
@@ -510,7 +552,7 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
 	}
 	if e, ok := s.cache.get(hash); ok {
 		s.metrics.cacheHits.Add(1)
-		j := s.newJobLocked(ckt, cfg, jc.GreedyChannels, timeout, hash)
+		j := s.newJobLocked(ckt, eng, cfg, jc.GreedyChannels, timeout, hash)
 		j.state = Done
 		j.cached = true
 		j.payload = e.payload
@@ -520,7 +562,7 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
 		return SubmitResult{Job: j, Cached: true}, nil
 	}
 	s.metrics.cacheMiss.Add(1)
-	j := s.newJobLocked(ckt, cfg, jc.GreedyChannels, timeout, hash)
+	j := s.newJobLocked(ckt, eng, cfg, jc.GreedyChannels, timeout, hash)
 	select {
 	case s.queue <- j:
 	default:
@@ -535,13 +577,15 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
 }
 
 // newJobLocked allocates and registers a job; s.mu must be held.
-func (s *Server) newJobLocked(ckt *circuit.Circuit, cfg core.Config, greedy bool, timeout time.Duration, hash string) *Job {
+func (s *Server) newJobLocked(ckt *circuit.Circuit, eng engine.Engine, cfg engine.Config, greedy bool, timeout time.Duration, hash string) *Job {
 	s.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("j%04d-%s", s.seq, hash[:8]),
 		Hash:    hash,
 		name:    ckt.Name,
 		ckt:     ckt,
+		eng:     eng,
+		engName: eng.Name(),
 		cfg:     cfg,
 		greedy:  greedy,
 		timeout: timeout,
@@ -699,7 +743,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	if j.finish(Done, "", "", payload, phases) {
 		s.metrics.completed.Add(1)
-		s.metrics.observeJob(time.Since(start), phases)
+		s.metrics.observeJob(j.engName, time.Since(start), phases)
 	}
 	s.mu.Lock()
 	s.cache.put(j.Hash, payload, phases)
@@ -709,7 +753,7 @@ func (s *Server) runJob(j *Job) {
 	// The result record lands before the terminal record claiming
 	// "done": a crash between the two downgrades the job to failed at
 	// replay instead of advertising a result that is not on disk.
-	s.journalResultLocked(j.Hash, payload, phases)
+	s.journalResultLocked(j.Hash, j.engName, payload, phases)
 	s.noteTerminalLocked(j)
 	s.mu.Unlock()
 }
@@ -732,7 +776,7 @@ func (s *Server) routeJob(ctx context.Context, j *Job) (payload *Payload, phases
 	}
 	cfg := j.cfg
 	cfg.Progress = j.setProgress
-	res, err := core.RouteCtx(ctx, j.ckt, cfg)
+	res, err := j.eng.Route(ctx, j.ckt, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -775,7 +819,7 @@ func (s *Server) finishJob(j *Job, err error) {
 // buildPayload renders every response form from a finished routing. The
 // timing text matches render.Handler's (report + slack histogram over the
 // post-channel-routing lengths) so the bgr-view port is byte-compatible.
-func buildPayload(res *core.Result, greedy bool) (*Payload, error) {
+func buildPayload(res *engine.Result, greedy bool) (*Payload, error) {
 	algo := chanroute.LeftEdge
 	if greedy {
 		algo = chanroute.Greedy

@@ -83,8 +83,20 @@ func (s *Server) handleWireFrame(w *wire.Writer, f wire.Frame) bool {
 	case wire.TPing:
 		w.WriteFrame(wire.TPong, f.Payload)
 
-	case wire.TSubmit:
-		cfgJSON, timeoutMs, ckt, err := wire.DecodeSubmit(f.Payload)
+	case wire.TSubmit, wire.TSubmitV2:
+		// v1 and v2 differ only in the explicit engine field; old clients
+		// keep sending v1 (engine defaults or rides in the config JSON).
+		var (
+			cfgJSON, ckt []byte
+			timeoutMs    uint32
+			engineName   string
+			err          error
+		)
+		if f.Type == wire.TSubmit {
+			cfgJSON, timeoutMs, ckt, err = wire.DecodeSubmit(f.Payload)
+		} else {
+			cfgJSON, timeoutMs, engineName, ckt, err = wire.DecodeSubmitV2(f.Payload)
+		}
 		if err != nil {
 			w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeBadRequest, err.Error()))
 			return true
@@ -99,6 +111,18 @@ func (s *Server) handleWireFrame(w *wire.Writer, f wire.Frame) bool {
 				return true
 			}
 			req.Config = &jc
+		}
+		if engineName != "" {
+			if req.Config == nil {
+				jc := DefaultJobConfig()
+				req.Config = &jc
+			}
+			if req.Config.Engine != "" && req.Config.Engine != engineName {
+				w.WriteFrame(wire.TErr, wire.EncodeError(wire.CodeBadRequest,
+					fmt.Sprintf("engine field %q conflicts with config engine %q", engineName, req.Config.Engine)))
+				return true
+			}
+			req.Config.Engine = engineName
 		}
 		res, err := s.Submit(req)
 		if err != nil {

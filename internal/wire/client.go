@@ -90,6 +90,25 @@ func (c *Client) Submit(circuit string, cfgJSON []byte, timeout time.Duration) (
 	return DecodeSubmitted(f.Payload)
 }
 
+// SubmitEngine submits a circuit to be routed by a named engine. The
+// empty engine means the server default and is sent as a plain v1
+// TSubmit frame, so a new client keeps working against an old server
+// until a non-default engine is actually requested.
+func (c *Client) SubmitEngine(circuit string, cfgJSON []byte, engine string, timeout time.Duration) (SubmitReply, error) {
+	if engine == "" {
+		return c.Submit(circuit, cfgJSON, timeout)
+	}
+	var ms uint32
+	if timeout > 0 {
+		ms = uint32(timeout / time.Millisecond)
+	}
+	f, err := c.roundTrip(TSubmitV2, EncodeSubmitV2(cfgJSON, ms, engine, []byte(circuit)), TSubmitted)
+	if err != nil {
+		return SubmitReply{}, err
+	}
+	return DecodeSubmitted(f.Payload)
+}
+
 // Status fetches a job's status snapshot (the same JSON document as
 // GET /jobs/{id}).
 func (c *Client) Status(id string) ([]byte, error) {

@@ -15,6 +15,15 @@
 //	TCancel  0x04  payload: job ID
 //	TPing    0x05  payload: echoed verbatim
 //	TWait    0x06  payload: job ID (reply is delayed until the job is terminal)
+//	TSubmitV2 0x07 payload: cfgLen(uint32) configJSON timeoutMs(uint32)
+//	               engLen(uint32) engine circuit
+//
+// TSubmitV2 extends TSubmit with an explicit engine-name field. Version
+// tolerance runs both ways: servers keep decoding TSubmit from old
+// clients (the engine defaults, or rides inside the config JSON), and
+// new clients send plain TSubmit whenever the engine is the default, so
+// they interoperate with old servers until a non-default engine is
+// actually requested.
 //
 //	TSubmitted 0x81  payload: flags(1 byte: bit0 cached, bit1 dedup) job ID
 //	TStatusOK  0x82  payload: status JSON (same document as GET /jobs/{id})
@@ -44,6 +53,8 @@ const (
 	TCancel byte = 0x04
 	TPing   byte = 0x05
 	TWait   byte = 0x06
+	// TSubmitV2 carries an explicit engine name; see the frame grammar.
+	TSubmitV2 byte = 0x07
 )
 
 // Response frame types.
@@ -160,6 +171,48 @@ func DecodeSubmit(p []byte) (cfgJSON []byte, timeoutMs uint32, circuit []byte, e
 	}
 	timeoutMs = binary.BigEndian.Uint32(rest)
 	return cfgJSON, timeoutMs, rest[4:], nil
+}
+
+// EncodeSubmitV2 packs a TSubmitV2 payload: TSubmit plus an engine-name
+// field between the timeout and the circuit. An empty engine means the
+// server default (callers normally send plain TSubmit in that case, for
+// old-server interop).
+func EncodeSubmitV2(cfgJSON []byte, timeoutMs uint32, engine string, circuit []byte) []byte {
+	p := make([]byte, 0, 12+len(cfgJSON)+len(engine)+len(circuit))
+	p = binary.BigEndian.AppendUint32(p, uint32(len(cfgJSON)))
+	p = append(p, cfgJSON...)
+	p = binary.BigEndian.AppendUint32(p, timeoutMs)
+	p = binary.BigEndian.AppendUint32(p, uint32(len(engine)))
+	p = append(p, engine...)
+	return append(p, circuit...)
+}
+
+// DecodeSubmitV2 unpacks a TSubmitV2 payload. It never panics: any
+// truncated or inconsistent layout returns ErrBadFrame.
+func DecodeSubmitV2(p []byte) (cfgJSON []byte, timeoutMs uint32, engine string, circuit []byte, err error) {
+	if len(p) < 4 {
+		return nil, 0, "", nil, fmt.Errorf("%w: submit-v2 payload %d bytes, want >= 4", ErrBadFrame, len(p))
+	}
+	n := binary.BigEndian.Uint32(p)
+	rest := p[4:]
+	if uint64(n) > uint64(len(rest)) {
+		return nil, 0, "", nil, fmt.Errorf("%w: submit-v2 config length %d exceeds payload", ErrBadFrame, n)
+	}
+	cfgJSON, rest = rest[:n], rest[n:]
+	if len(rest) < 4 {
+		return nil, 0, "", nil, fmt.Errorf("%w: submit-v2 payload truncated before timeout", ErrBadFrame)
+	}
+	timeoutMs = binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if len(rest) < 4 {
+		return nil, 0, "", nil, fmt.Errorf("%w: submit-v2 payload truncated before engine", ErrBadFrame)
+	}
+	en := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(en) > uint64(len(rest)) {
+		return nil, 0, "", nil, fmt.Errorf("%w: submit-v2 engine length %d exceeds payload", ErrBadFrame, en)
+	}
+	return cfgJSON, timeoutMs, string(rest[:en]), rest[en:], nil
 }
 
 // EncodeResultReq packs a TResult payload: artifact kind + job ID.
