@@ -303,13 +303,16 @@ func (r *router) delayCriteriaSc(n, e int, sc *scratch) delayCrit {
 }
 
 // drainDensityChanges folds the density mutations since the last
-// selectEdge call into the dirty-net bitset: a channel whose version
+// selection call into the dirty-net bitset: a channel whose version
 // moved invalidates exactly the nets whose candidate graphs touch it
-// (chanNetBits). An ordering-criterion flip invalidates everything.
+// (chanNetBits). Channels drain in ascending order — OR-ing masks is
+// order-independent, but the canonical order keeps the traversal (and
+// anything ever derived from it) independent of which shard's commits
+// produced the log. An ordering-criterion flip invalidates everything.
 // After it returns the superset invariant holds: a clear bit proves
 // bestValid without reading any epoch.
 func (r *router) drainDensityChanges(areaOrder bool) {
-	for _, ch := range r.dens.TakeChanged() {
+	for _, ch := range r.dens.TakeChangedSorted() {
 		row := r.chanNetBits[ch]
 		for w, m := range row {
 			r.dirtyBest[w] |= m

@@ -1,0 +1,509 @@
+package core
+
+// Sharded round-based selection for the initial routing phase (Fig. 2
+// lines 04-07). The sequential loop runs one global argmin per deleted
+// edge; this file splits each argmin round into three deterministic
+// steps so the decision work itself parallelizes without changing a
+// single routed byte:
+//
+//  1. Scan. The nets are partitioned once into channel-band shards
+//     (setupShards): each shard owns a contiguous ascending net list
+//     with differential-pair mates co-located. At round start every
+//     shard independently refreshes its stale cached bests and keeps
+//     its local top-k candidates (scanShard), in parallel across
+//     Config.Workers. Per-net bests are pure functions of router state,
+//     so the scan result is independent of both the partition and the
+//     scheduling; dirty-bit clears are logged per shard and applied
+//     after the join because shards share words of the dirtyBest
+//     bitset.
+//
+//  2. Reduce. The per-shard top-k lists merge into one globally ranked
+//     list under the strict §3.4/§3.5 total order (mergeRound) — equal
+//     to the prefix of the full ranking regardless of the shard count —
+//     truncated at the first entry whose candidate interacts with an
+//     earlier kept entry (shared channel footprint, overlapping Gd(P)
+//     constraint cone, or same differential unit). The kept entries are
+//     mutually non-interacting speculative commits in canonical rank
+//     order.
+//
+//  3. Commit. Edges are committed one at a time in list order, but each
+//     commit is verified first: the nets dirtied by previous commits are
+//     re-scored into the round's revised set (roundRefresh), and the
+//     next list entry only commits while it still beats the best revised
+//     candidate (roundNext). When a revised net outranks the list — a
+//     deletion improved some other net's key, which the density criteria
+//     permit — the revised candidate commits instead: the single-commit
+//     fallback. The round ends when the list is exhausted; nets outside
+//     it were ranked worse than every kept entry at round start and can
+//     only be re-ranked by a fresh scan.
+//
+// The commit sequence therefore equals the sequential argmin schedule
+// exactly — not merely "some" sequential schedule — which is what keeps
+// the golden tables and the byte-identity determinism gate unchanged for
+// every Shards × Workers combination.
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/workpool"
+)
+
+const (
+	// roundTopK bounds the per-shard and merged candidate lists. Eight is
+	// deep enough that most rounds commit several edges before the list
+	// is invalidated, and small enough that the merge and interaction
+	// checks stay trivial next to one net re-score.
+	roundTopK = 8
+	// shardGrain is the target net count per auto-sized shard;
+	// maxAutoShards caps the auto size so tiny circuits do not pay
+	// partition overhead. Both only shape the work split — results are
+	// byte-identical for every shard count.
+	shardGrain    = 96
+	maxAutoShards = 8
+)
+
+// rankedCand is one evaluated candidate in a shard's (or the merged)
+// top-k list.
+type rankedCand struct {
+	key candKey
+	c   candidate
+}
+
+// shardState is one shard's private round-scan state: its net list, its
+// scoring scratch, the top-k candidates of its latest scan, and the
+// dirty-bit logs the post-join merge consumes. The *Log fields and the
+// top-k bookkeeping may only be mutated by the shard-owned scan methods
+// (the bgr-vet epochs contract), because applying them directly from a
+// worker would race on the shared dirtyBest words.
+type shardState struct {
+	nets []int32  // owned nets, ascending, pair mates co-located
+	sc   *scratch // private scoring scratch
+
+	// staleLog lists nets this scan re-scored; revalLog lists nets whose
+	// cached best was revalidated without re-scoring. Both carry dirty
+	// bits to clear — deferred to the sequential merge because shard
+	// boundaries do not align to the bitset's 64-net words.
+	staleLog []int32
+	revalLog []int32
+
+	topK [roundTopK]rankedCand
+	nTop int
+}
+
+// shardCount resolves Config.Shards: 0 picks a size-based default that
+// is deterministic (no CPU-count dependence), so traces and stats are
+// reproducible across machines.
+func (r *router) shardCount() int {
+	if r.cfg.Shards > 0 {
+		return r.cfg.Shards
+	}
+	s := (r.nNets + shardGrain - 1) / shardGrain
+	if s < 1 {
+		s = 1
+	}
+	if s > maxAutoShards {
+		s = maxAutoShards
+	}
+	return s
+}
+
+// setupShards partitions the nets into channel-band regions and lays out
+// the round-selection state. Each net is anchored at the lowest channel
+// its graph reads density from (netChans); a differential mate joins its
+// leader's shard so a scoring unit never spans shards. The partition is
+// static — later reroutes may shrink a net's channel set, but the split
+// only balances work, never correctness.
+func (r *router) setupShards() {
+	nNets := r.nNets
+	nShards := r.shardCount()
+	nCh := r.dens.Channels()
+	r.shardOf = make([]int32, nNets)
+	for n := 0; n < nNets; n++ {
+		if m := r.pairOf[n]; m != circuit.NoNet && m < n {
+			r.shardOf[n] = r.shardOf[m]
+			continue
+		}
+		anchor := 0
+		if chans := r.netChans[n]; len(chans) > 0 {
+			anchor = chans[0]
+			for _, ch := range chans[1:] {
+				if ch < anchor {
+					anchor = ch
+				}
+			}
+		}
+		s := 0
+		if nCh > 0 {
+			s = anchor * nShards / nCh
+		}
+		if s >= nShards {
+			s = nShards - 1
+		}
+		r.shardOf[n] = int32(s)
+	}
+	counts := make([]int, nShards)
+	for _, s := range r.shardOf {
+		counts[s]++
+	}
+	r.shardSt = make([]*shardState, nShards)
+	for si := range r.shardSt {
+		r.shardSt[si] = &shardState{
+			sc:       r.newScratch(),
+			nets:     make([]int32, 0, counts[si]),
+			staleLog: make([]int32, 0, counts[si]),
+			revalLog: make([]int32, 0, counts[si]),
+		}
+	}
+	for n := 0; n < nNets; n++ {
+		s := r.shardSt[r.shardOf[n]]
+		s.nets = append(s.nets, int32(n))
+	}
+	// Round state, sized once so the commit loop never allocates.
+	r.mergeIdx = make([]int32, nShards)
+	r.roundList = make([]rankedCand, 0, roundTopK)
+	r.roundNets = make([]int32, 0, 2*roundTopK)
+	r.revBits = make([]uint64, (nNets+63)/64)
+	r.revList = make([]int32, 0, nNets)
+	r.roundStale = make([]int32, 0, nNets)
+	r.roundUnits = make([]int32, 0, nNets)
+}
+
+// scanShard refreshes every stale cached best in one shard and collects
+// the shard's top-k candidates. It runs concurrently with other shards'
+// scans: it writes only per-net state of its own nets (pairs are
+// co-located), reads the flushed density and timing state, and defers
+// dirty-bit clears to the per-shard logs.
+func (r *router) scanShard(s *shardState, areaOrder bool) {
+	s.nTop = 0
+	stale := s.staleLog[:0]
+	reval := s.revalLog[:0]
+	lastUnit := int32(-1)
+	for _, n32 := range s.nets {
+		n := int(n32)
+		if r.dirtyBest[n>>6]&(1<<(uint(n)&63)) != 0 {
+			if r.bestValid(n, areaOrder) {
+				reval = append(reval, n32)
+			} else {
+				stale = append(stale, n32)
+				l := int32(n)
+				if m := r.pairOf[n]; m != circuit.NoNet && m < n {
+					l = int32(m)
+				}
+				if l != lastUnit {
+					// Pair mates are adjacent in the ascending list, so
+					// equal leaders arrive consecutively; scoring the
+					// leader validates the mate, which then lands in
+					// revalLog instead of re-scoring.
+					lastUnit = l
+					r.scoreUnit(int(l), areaOrder, s.sc)
+				}
+			}
+		}
+		b := &r.best[n]
+		if b.edge < 0 {
+			continue
+		}
+		c := candidate{net: n32, edge: b.edge}
+		k := s.nTop
+		for k > 0 && r.keyLess(&b.key, &s.topK[k-1].key, c, s.topK[k-1].c, areaOrder) {
+			k--
+		}
+		if k < roundTopK {
+			end := s.nTop
+			if end == roundTopK {
+				end--
+			}
+			for i := end; i > k; i-- {
+				s.topK[i] = s.topK[i-1]
+			}
+			s.topK[k] = rankedCand{key: b.key, c: c}
+			if s.nTop < roundTopK {
+				s.nTop++
+			}
+		}
+	}
+	s.staleLog = stale
+	s.revalLog = reval
+}
+
+// shardScanBatch is the reusable workpool task for the parallel
+// round-start scan: each Run claims shard indices from the shared
+// counter until the batch drains. Shards carry their own scratch, so no
+// per-worker slot claiming is needed.
+type shardScanBatch struct {
+	r         *router
+	areaOrder bool
+	next      atomic.Int64
+	wg        sync.WaitGroup
+}
+
+func (b *shardScanBatch) Run() {
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= len(b.r.shardSt) {
+			b.wg.Done()
+			return
+		}
+		b.r.scanShard(b.r.shardSt[i], b.areaOrder)
+	}
+}
+
+// scanParallel fans the shard scans out on the shared worker pool, like
+// scoreParallel: a reusable batch object, no goroutine or closure
+// allocated per round.
+func (r *router) scanParallel(areaOrder bool, w int) {
+	if w > len(r.shardSt) {
+		w = len(r.shardSt)
+	}
+	b := &r.scanB
+	b.r, b.areaOrder = r, areaOrder
+	b.next.Store(0)
+	b.wg.Add(w)
+	workpool.Submit(b, w)
+	b.wg.Wait()
+}
+
+// selectRound starts a new commit round: flush + drain density changes,
+// scan every shard (in parallel when configured), apply the deferred
+// dirty-bit clears in ascending shard order, and reduce the per-shard
+// top-k lists into the round's speculative commit list. It returns false
+// when no net has a deletable edge left — the phase is complete.
+//
+//bgr:hot
+func (r *router) selectRound(areaOrder bool) bool {
+	start := time.Now() //bgr:allow clockuse -- profiling only: feeds selStats latency counters, never steers selection
+	r.dens.Flush()
+	r.drainDensityChanges(areaOrder)
+	shards := r.shardSt
+	if w := r.workers(); w > 1 && len(shards) > 1 {
+		r.scanParallel(areaOrder, w)
+	} else {
+		for _, s := range shards {
+			r.scanShard(s, areaOrder)
+		}
+	}
+	// The deferred per-shard clear logs, merged in canonical (ascending
+	// shard, ascending net) order. Scoring stamped each stale net's
+	// cache, so both log kinds prove bestValid and their bits come down.
+	scored := 0
+	for _, s := range shards {
+		scored += len(s.staleLog)
+		for _, n := range s.staleLog {
+			r.clearBestDirty(int(n))
+		}
+		for _, n := range s.revalLog {
+			r.clearBestDirty(int(n))
+		}
+	}
+	r.mergeRound(areaOrder)
+	r.roundPos = 0
+	r.clearRevised()
+	r.selStat.calls++
+	r.selStat.scored += scored
+	r.selStat.reused += r.nNets - scored
+	r.selStat.dur += time.Since(start) //bgr:allow clockuse -- profiling only: feeds selStats latency counters, never steers selection
+	return len(r.roundList) > 0
+}
+
+// mergeRound k-way-merges the per-shard top-k lists into the round's
+// commit list under the strict total order — the result equals the
+// global ranking's prefix for any partition — and truncates at the
+// first entry that interacts with an earlier kept one, so the kept
+// entries are mutually non-interacting and the list stays a contiguous
+// rank prefix (every net outside it ranked worse than the last kept
+// entry at round start; the commit loop's exactness argument needs
+// that).
+func (r *router) mergeRound(areaOrder bool) {
+	list := r.roundList[:0]
+	kept := r.roundNets[:0]
+	shards := r.shardSt
+	idx := r.mergeIdx
+	for i := range idx {
+		idx[i] = 0
+	}
+	gen := r.nextChanGen()
+	for len(list) < roundTopK {
+		bi := -1
+		var bk *rankedCand
+		for si, s := range shards {
+			ci := int(idx[si])
+			if ci >= s.nTop {
+				continue
+			}
+			e := &s.topK[ci]
+			if bi == -1 || r.keyLess(&e.key, &bk.key, e.c, bk.c, areaOrder) {
+				bi, bk = si, e
+			}
+		}
+		if bi == -1 {
+			break
+		}
+		idx[bi]++
+		if len(list) > 0 && r.roundInteracts(bk.c, kept, gen) {
+			break
+		}
+		list = append(list, *bk)
+		kept = r.markRoundFootprint(bk.c, kept, gen)
+	}
+	r.roundList = list
+	r.roundNets = kept
+}
+
+// roundInteracts reports whether candidate c's deletion could read or
+// write state a previously kept entry's deletion touches: the same
+// differential unit, a shared density channel (chanMark stamps from
+// markRoundFootprint), or an overlapping Gd(P) constraint cone
+// (dgraph.ConesOverlap). It is deliberately conservative — a false
+// positive only shortens the speculative list; exactness comes from the
+// per-commit verification in roundNext.
+func (r *router) roundInteracts(c candidate, kept []int32, gen int32) bool {
+	n := int(c.net)
+	for _, a := range r.affectedNets(n) {
+		for _, ch := range r.netChans[a] {
+			if r.chanMark[ch] == gen {
+				return true
+			}
+		}
+		for _, k := range kept {
+			if int(k) == a || r.dg.ConesOverlap(a, int(k)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markRoundFootprint stamps candidate c's channel footprint into the
+// shared chanMark generation and appends its nets (both pair halves) to
+// the kept-net list, extending the region the rest of the merge must
+// stay disjoint from.
+func (r *router) markRoundFootprint(c candidate, kept []int32, gen int32) []int32 {
+	for _, a := range r.affectedNets(int(c.net)) {
+		for _, ch := range r.netChans[a] {
+			r.chanMark[ch] = gen
+		}
+		kept = append(kept, int32(a))
+	}
+	return kept
+}
+
+// markRevised adds net n to the round's revised set: its cached best has
+// been re-scored since the round's list was built, so the list entry (if
+// any) is superseded and the net competes through the revised-set argmin
+// instead.
+func (r *router) markRevised(n int) {
+	w, m := n>>6, uint64(1)<<(uint(n)&63)
+	if r.revBits[w]&m == 0 {
+		r.revBits[w] |= m
+		r.revList = append(r.revList, int32(n))
+	}
+}
+
+// clearRevised empties the revised set at round start.
+func (r *router) clearRevised() {
+	for w := range r.revBits {
+		r.revBits[w] = 0
+	}
+	r.revList = r.revList[:0]
+}
+
+// roundNext returns the next edge to commit, or ok == false when the
+// round is over and a fresh scan is needed. The winner is the §3.4/§3.5
+// argmin over all nets, computed as min(head of the speculative list,
+// best of the revised set): list entries whose net was revised are
+// skipped (their revised best competes instead), every unrevised net
+// outside the list ranked worse than the current head at round start and
+// is provably unchanged (its dirty bit would have sent it through
+// roundRefresh), and when a revised candidate outranks the head it
+// commits alone — the single-commit fallback for the interactions the
+// reducer could not rule out.
+//
+//bgr:hot
+func (r *router) roundNext(areaOrder bool) (candidate, bool) {
+	for r.roundPos < len(r.roundList) {
+		e := &r.roundList[r.roundPos]
+		if r.revBits[int(e.c.net)>>6]&(1<<(uint(e.c.net)&63)) == 0 {
+			break
+		}
+		r.roundPos++
+	}
+	if r.roundPos >= len(r.roundList) {
+		// List exhausted: nets outside it can only be ranked against the
+		// revised set by a fresh full scan.
+		return candidate{}, false
+	}
+	rb := candidate{net: -1}
+	var rbKey *candKey
+	for _, n32 := range r.revList {
+		b := &r.best[n32]
+		if b.edge < 0 {
+			continue
+		}
+		c := candidate{net: n32, edge: b.edge}
+		if rb.net == -1 || r.keyLess(&b.key, rbKey, c, rb, areaOrder) {
+			rb, rbKey = c, &b.key
+		}
+	}
+	e := &r.roundList[r.roundPos]
+	if rb.net == -1 || r.keyLess(&e.key, rbKey, e.c, rb, areaOrder) {
+		r.roundPos++
+		return e.c, true
+	}
+	return rb, true
+}
+
+// roundRefresh re-establishes the selection invariant after a commit:
+// flush + drain the density deltas, walk the dirty bits exactly like
+// selectEdge's full scan (revalidate or re-score, fanning re-scores out
+// across Workers), and fold every re-scored net into the revised set.
+//
+//bgr:hot
+func (r *router) roundRefresh(areaOrder bool) {
+	start := time.Now() //bgr:allow clockuse -- profiling only: feeds selStats latency counters, never steers selection
+	r.dens.Flush()
+	r.drainDensityChanges(areaOrder)
+	stale := r.roundStale[:0]
+	units := r.roundUnits[:0]
+	nNets := r.nNets
+	for w, word := range r.dirtyBest {
+		for word != 0 {
+			n := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if n >= nNets {
+				break
+			}
+			if r.bestValid(n, areaOrder) {
+				r.clearBestDirty(n)
+				continue
+			}
+			stale = append(stale, int32(n))
+			l := n
+			if m := r.pairOf[n]; m != circuit.NoNet && m < n {
+				l = m
+			}
+			if len(units) == 0 || units[len(units)-1] != int32(l) {
+				units = append(units, int32(l))
+			}
+		}
+	}
+	r.roundStale = stale
+	r.roundUnits = units
+	if w := r.workers(); w > 1 && len(units) > 1 {
+		r.scoreParallel(units, areaOrder, w)
+	} else {
+		for _, l := range units {
+			r.scoreUnit(int(l), areaOrder, r.sc)
+		}
+	}
+	for _, n := range stale {
+		r.clearBestDirty(int(n))
+		r.markRevised(int(n))
+	}
+	r.selStat.calls++
+	r.selStat.scored += len(stale)
+	r.selStat.dur += time.Since(start) //bgr:allow clockuse -- profiling only: feeds selStats latency counters, never steers selection
+}

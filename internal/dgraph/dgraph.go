@@ -10,6 +10,7 @@
 package dgraph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -18,6 +19,16 @@ import (
 
 // NoNet marks a cell arc in Arc.Net.
 const NoNet = -1
+
+// ErrGraphTooLarge reports a circuit whose delay graph would not fit the
+// int32 vertex/arc indices the graph and its per-constraint subgraphs are
+// stored in. Building it anyway would silently truncate indices.
+var ErrGraphTooLarge = errors.New("dgraph: graph exceeds int32 index capacity")
+
+// maxGraphInts is the largest vertex or arc count the int32 index layout
+// can hold. A variable, not a constant, so the overflow test can lower it
+// without building a >2^31-element circuit.
+var maxGraphInts = math.MaxInt32
 
 // Arc is one delay arc of G_D.
 type Arc struct {
@@ -128,6 +139,28 @@ func (g *Graph) NetArcs(net int) []int { return g.netArcs[net] }
 // ConsOfNet returns the constraints whose Gd(P) contains an arc of net n.
 func (g *Graph) ConsOfNet(net int) []int { return g.consOfNet[net] }
 
+// ConesOverlap reports whether any constraint's Gd(P) cone contains arcs
+// of both net a and net b — the timing half of the router's shard
+// non-interaction criterion: with disjoint cones, changing one net's
+// delay cannot move any margin the other net's criteria read. The
+// consOfNet lists are built in ascending constraint order, so the query
+// is a sorted-merge intersection, allocation-free.
+func (g *Graph) ConesOverlap(a, b int) bool {
+	ca, cb := g.consOfNet[a], g.consOfNet[b]
+	i, j := 0, 0
+	for i < len(ca) && j < len(cb) {
+		switch {
+		case ca[i] == cb[j]:
+			return true
+		case ca[i] < cb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
 // InGd reports whether arc a belongs to Gd(P): its tail is reachable from
 // S_P and its head reaches T_P.
 func (g *Graph) InGd(p, a int) bool {
@@ -136,13 +169,20 @@ func (g *Graph) InGd(p, a int) bool {
 }
 
 // New builds the delay graph. The circuit must validate (in particular the
-// combinational part must be acyclic).
+// combinational part must be acyclic). Circuits whose vertex or arc count
+// would overflow the int32 indices the graph (and its per-constraint
+// subgraphs) are stored in are rejected with ErrGraphTooLarge.
 func New(ckt *circuit.Circuit) (*Graph, error) {
-	g := &Graph{Ckt: ckt, vidx: newVertIndex(ckt)}
-	// Size the vertex and arc slices once: vertices are a subset of all
-	// terminals, net arcs number one per non-driving terminal, and cell
-	// arcs are bounded by the per-cell arc lists.
-	maxVerts := len(g.vidx.pins) + len(g.vidx.ext)
+	// Bounds first, from the circuit alone: newVertIndex below already
+	// narrows pin offsets to int32, so the check cannot come after it.
+	// Vertices are a subset of all terminals, net arcs number one per
+	// non-driving terminal, and cell arcs are bounded by the per-cell arc
+	// lists.
+	totalPins := 0
+	for ci := range ckt.Cells {
+		totalPins += len(ckt.CellTypeOf(ci).Pins)
+	}
+	maxVerts := totalPins + len(ckt.Ext)
 	maxArcs := len(ckt.Ext)
 	for n := range ckt.Nets {
 		maxArcs += len(ckt.Nets[n].Pins)
@@ -150,6 +190,11 @@ func New(ckt *circuit.Circuit) (*Graph, error) {
 	for ci := range ckt.Cells {
 		maxArcs += len(ckt.CellTypeOf(ci).Arcs)
 	}
+	if maxVerts > maxGraphInts || maxArcs > maxGraphInts {
+		return nil, fmt.Errorf("%w: %d terminals / %d arcs exceed the int32 index limit %d",
+			ErrGraphTooLarge, maxVerts, maxArcs, maxGraphInts)
+	}
+	g := &Graph{Ckt: ckt, vidx: newVertIndex(ckt)}
 	g.Verts = make([]circuit.PinRef, 0, maxVerts)
 	g.Arcs = make([]Arc, 0, maxArcs)
 	vert := func(ref circuit.PinRef) int {

@@ -107,6 +107,69 @@ func TestConformanceWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestConformanceShardDeterminism requires byte-identical routing
+// databases for every shard count, on every engine: engines with the
+// Sharded capability must merge their per-shard candidate lists back to
+// the sequential schedule, engines without it must ignore Shards
+// entirely.
+func TestConformanceShardDeterminism(t *testing.T) {
+	ckt := loadDataset(t, gen.DatasetNames()[0])
+	for _, eng := range engine.Names() {
+		t.Run(eng, func(t *testing.T) {
+			var want []byte
+			for _, s := range []int{0, 1, 2, 4} {
+				got := routeDB(t, eng, ckt, engine.Config{UseConstraints: true, Shards: s, Workers: 2})
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("shards=%d routed differently from shards=0 (%d vs %d bytes)",
+						s, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerCapabilityTruth pins the Capabilities.Workers contract:
+// engines claiming it must (per TestConformanceWorkerDeterminism) honor
+// the knob without changing bytes; engines not claiming it must clamp —
+// routing with workers=8 must byte-match workers=1, and the steiner
+// engine (which is congestion-sequential by construction) must surface
+// the clamp as a trace note rather than silently ignoring the request.
+func TestWorkerCapabilityTruth(t *testing.T) {
+	ckt := loadDataset(t, gen.DatasetNames()[0])
+	for _, eng := range engine.Names() {
+		e, ok := engine.Get(eng)
+		if !ok {
+			t.Fatalf("engine %q not registered", eng)
+		}
+		if e.Capabilities().Workers {
+			continue
+		}
+		t.Run(eng, func(t *testing.T) {
+			one := routeDB(t, eng, ckt, engine.Config{UseConstraints: true, Workers: 1})
+			eight := routeDB(t, eng, ckt, engine.Config{UseConstraints: true, Workers: 8})
+			if !bytes.Equal(one, eight) {
+				t.Fatalf("engine without Workers capability routed differently at workers=8 (%d vs %d bytes)",
+					len(eight), len(one))
+			}
+		})
+	}
+
+	t.Run("steiner-clamp-note", func(t *testing.T) {
+		var trace bytes.Buffer
+		cfg := engine.Config{UseConstraints: true, Workers: 8, Trace: &trace}
+		if _, err := engine.Route(context.Background(), "steiner", ckt, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(trace.Bytes(), []byte("workers=8 clamped to 1")) {
+			t.Fatalf("steiner trace missing the worker-clamp note:\n%s", trace.String())
+		}
+	})
+}
+
 // TestConformanceProgress checks the Progress contract on engines that
 // claim the capability: at least one snapshot arrives, cumulative
 // counters never decrease within a phase, and the final event has Done

@@ -44,6 +44,15 @@ type Capabilities struct {
 	ECO bool
 	// Phases: the engine fills Result.Phases with per-phase statistics.
 	Phases bool
+	// Workers: the engine honors Config.Workers with intra-run
+	// parallelism. Engines without it clamp to one worker (results are
+	// byte-identical either way; this only tells callers whether extra
+	// cores buy wall-clock).
+	Workers bool
+	// Sharded: the engine honors Config.Shards — its decision loop runs
+	// the sharded round-scan protocol with byte-identical output for
+	// every shard count.
+	Sharded bool
 }
 
 // Engine is one global-routing algorithm behind the shared substrate.

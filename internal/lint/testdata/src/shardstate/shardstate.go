@@ -1,0 +1,78 @@
+// Fixture for the epochs analyzer's shard-round rule: the package is
+// named "core" so the deterministic-only analyzers run, and the
+// receivers are named "shardState" and "router" so the rule engages.
+package core
+
+type cand struct{ net, edge int32 }
+
+type shardState struct {
+	staleLog []int32
+	revalLog []int32
+	topK     [8]cand
+	nTop     int
+	order    []int32
+}
+
+type router struct {
+	shardSt []*shardState
+	revBits []uint64
+}
+
+// newRouter lays the shard scratch and the revised bitset out;
+// initializers are sanctioned.
+func newRouter(nets, shards int) *router {
+	r := &router{revBits: make([]uint64, (nets+63)/64)}
+	for i := 0; i < shards; i++ {
+		s := &shardState{staleLog: make([]int32, 0, nets)}
+		s.revalLog = make([]int32, 0, nets)
+		r.shardSt = append(r.shardSt, s)
+	}
+	return r
+}
+
+// scanShard is the owning per-shard scan; all the log and top-k writes
+// here are sanctioned.
+func (r *router) scanShard(s *shardState) {
+	s.nTop = 0
+	s.staleLog = s.staleLog[:0]
+	s.revalLog = append(s.revalLog[:0], 3)
+	s.topK[0] = cand{net: 3}
+	s.nTop++
+}
+
+// markRevised and clearRevised own the revised-net bitset.
+func (r *router) markRevised(n int) {
+	r.revBits[n>>6] |= 1 << (uint(n) & 63)
+}
+
+func (r *router) clearRevised() {
+	for w := range r.revBits {
+		r.revBits[w] = 0
+	}
+}
+
+// merge only reads the shard state and writes a non-guarded field:
+// clean.
+func (r *router) merge(s *shardState) int32 {
+	s.order = append(s.order[:0], 1)
+	if s.nTop == 0 {
+		return -1
+	}
+	return s.topK[0].net
+}
+
+func (r *router) stealTop(s *shardState) {
+	s.nTop = 0 // want "write to shard-round field .nTop. outside a shard-owned scan/mark/clear/drain method \(stealTop\)"
+}
+
+func (r *router) patchLog(s *shardState) {
+	s.staleLog = nil // want "write to shard-round field .staleLog. outside a shard-owned scan/mark/clear/drain method \(patchLog\)"
+}
+
+func (r *router) pokeTopK(s *shardState) {
+	s.topK[1] = cand{} // want "write to shard-round field .topK. outside a shard-owned scan/mark/clear/drain method \(pokeTopK\)"
+}
+
+func (r *router) reviseInline(n int) {
+	r.revBits[n>>6] |= 1 << (uint(n) & 63) // want "write to shard-round field .revBits. outside a shard-owned scan/mark/clear/drain method \(reviseInline\)"
+}

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// TestCancelRaceSlotRelease pins the terminal-state invariant documented
+// on Job.requestCancel: racing Cancel against the worker's dequeue and
+// completion, every interleaving (cancelled while queued, cancelled
+// mid-run, cancel losing to completion) must release the dedupe slot
+// exactly once — an identical resubmission gets a fresh run (or a cache
+// hit), never a dead in-flight job — and journal at most one terminal
+// record per job. Run under -race in CI.
+func TestCancelRaceSlotRelease(t *testing.T) {
+	cktText := readExample(t)
+	jpath := filepath.Join(t.TempDir(), "journal.log")
+	svc, err := Open(Options{Workers: 2, JournalPath: jpath, JournalSync: journal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown(context.Background())
+
+	variant := func(i int) string {
+		return strings.Replace(cktText, "circuit invchain", fmt.Sprintf("circuit invchain%d", i), 1)
+	}
+	// waitSlotFree polls until the hash's in-flight slot no longer points
+	// at job j: Done() closes inside finish, a moment before jobFinished
+	// releases the slot, so the release is only observable shortly after
+	// Wait returns.
+	waitSlotFree := func(hash string, j *Job) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			svc.mu.Lock()
+			cur := svc.inflight[hash]
+			svc.mu.Unlock()
+			if cur != j {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("dedupe slot for %s still held by terminal job %s", hash, j.ID)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	const iters = 30
+	for i := 0; i < iters; i++ {
+		sub, err := svc.Submit(SubmitRequest{Circuit: variant(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := sub.Job
+		// Race the cancel against the worker picking the job up.
+		done := make(chan struct{})
+		go func() {
+			svc.Cancel(j.ID)
+			close(done)
+		}()
+		if _, err := svc.Wait(ctx, j.ID); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		waitSlotFree(j.Hash, j)
+
+		resub, err := svc.Submit(SubmitRequest{Circuit: variant(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resub.Deduped {
+			t.Fatalf("iter %d: resubmission after terminal state deduped onto dead job %s", i, j.ID)
+		}
+		// Don't let fresh reruns pile up; their cancels race too.
+		if !resub.Cached {
+			svc.Cancel(resub.Job.ID)
+			if _, err := svc.Wait(ctx, resub.Job.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Drain, then audit the journal: at most one terminal record per job.
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	jl, recs, err := journal.Open(jpath, journal.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+	terminals := map[string]int{}
+	for _, rec := range recs {
+		if rec.Kind != journal.KindTerminal {
+			continue
+		}
+		var jr jrecTerminal
+		if err := json.Unmarshal(rec.Data, &jr); err != nil {
+			t.Fatalf("bad terminal record: %v", err)
+		}
+		terminals[jr.ID]++
+	}
+	for id, n := range terminals {
+		if n != 1 {
+			t.Errorf("job %s has %d terminal journal records, want 1", id, n)
+		}
+	}
+	if len(terminals) == 0 {
+		t.Fatal("no terminal records journaled; the audit asserted nothing")
+	}
+}

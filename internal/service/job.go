@@ -222,6 +222,30 @@ func (j *Job) finish(st State, errMsg, stack string, p *Payload, phases []PhaseI
 // requestCancel cancels a queued job immediately or signals a running
 // one. It returns the state observed and whether the job moved to
 // Cancelled right now.
+//
+// Terminal-state invariant (audited): no interleaving of requestCancel
+// with worker completion can release the dedupe slot twice, leak it, or
+// journal two terminal records.
+//
+//   - Cancel lands while Queued: this method moves the job to Cancelled
+//     under mu and reports cancelledNow=true, so Server.Cancel (the only
+//     caller acting on that flag) runs jobFinished exactly once. The
+//     worker that later dequeues the job observes begin() == false and
+//     returns without touching it.
+//   - Cancel lands while Running: this method only fires j.cancel; the
+//     worker's run returns with ctx.Err, and finishJob classifies it as
+//     Cancelled and runs jobFinished — again exactly one release, on the
+//     worker's path.
+//   - Cancel races the worker's finish: both paths funnel through
+//     j.finish / the transitions above under mu, and finish's
+//     Terminal() guard makes the loser a no-op that skips jobFinished.
+//   - Double cancel: a terminal job falls through to the default arm,
+//     cancelledNow=false, no second release.
+//
+// Journal writes are additionally guarded by gcNoted (under the
+// Server's mutex, via noteTerminalLocked), so whichever path wins
+// records at most one terminal entry. TestCancelRaceSlotRelease pins
+// the queued-cancel race under -race.
 func (j *Job) requestCancel() (State, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

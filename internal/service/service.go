@@ -92,6 +92,10 @@ type Options struct {
 	// applied when a submission leaves config.workers at 0. It never
 	// changes routed results, so it is not part of the cache key.
 	ScoreWorkers int
+	// ScoreShards is the default selection shard count applied when a
+	// submission leaves config.shards at 0 (engines with the Sharded
+	// capability). Like ScoreWorkers it never changes routed results.
+	ScoreShards int
 
 	// TerminalTTL is how long a finished/failed/cancelled job stays
 	// addressable after reaching its terminal state (default 15m;
@@ -218,6 +222,10 @@ type JobConfig struct {
 	// (0 = one per CPU, 1 = sequential). The routed result is byte-identical
 	// for every value, so it is safe in the cache key.
 	Workers int `json:"workers,omitempty"`
+	// Shards is the selection shard count of the concurrent engine's
+	// sharded round scans (0 = size-based default). Byte-identical
+	// results for every value, so it too is safe in the cache key.
+	Shards int `json:"shards,omitempty"`
 	// Alpha and TargetTracks tune the per-net engines (sequential,
 	// steiner): congestion penalty scale (0 = engine default 0.35) and
 	// the per-channel density target (0 = derived from demand). The
@@ -242,6 +250,9 @@ func (jc JobConfig) validate() error {
 	if jc.Workers < 0 {
 		return fmt.Errorf("workers %d must not be negative", jc.Workers)
 	}
+	if jc.Shards < 0 {
+		return fmt.Errorf("shards %d must not be negative", jc.Shards)
+	}
 	if math.IsNaN(jc.Alpha) || math.IsInf(jc.Alpha, 0) || jc.Alpha < 0 {
 		return fmt.Errorf("alpha %v must be a finite non-negative number", jc.Alpha)
 	}
@@ -262,6 +273,7 @@ func (jc JobConfig) toEngine() (engine.Config, error) {
 		MaxPasses:       jc.MaxPasses,
 		NoFeedReroute:   jc.NoFeedReroute,
 		Workers:         jc.Workers,
+		Shards:          jc.Shards,
 		Alpha:           jc.Alpha,
 		TargetTracks:    jc.TargetTracks,
 	}
@@ -534,6 +546,9 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResult, error) {
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = s.opts.ScoreWorkers
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = s.opts.ScoreShards
 	}
 	timeout := s.opts.JobTimeout
 	if t := time.Duration(req.TimeoutMs) * time.Millisecond; t > 0 && t < timeout {

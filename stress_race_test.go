@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -67,6 +68,53 @@ func TestConcurrentWorkerCountsIdentical(t *testing.T) {
 					round, w, workerCounts[0], len(got), len(want))
 			}
 		}
+	}
+}
+
+// TestShardWorkerMatrixIdentical is the acceptance matrix of the sharded
+// round-selection engine: on every data set, routing with shards ∈
+// {1, 2, 4} × workers ∈ {1, 2, 8} must produce routedb bytes identical
+// to the fully sequential route (workers=1, shards=1). The per-shard
+// top-k scans, the deterministic merge and the per-commit verification
+// must reproduce the sequential argmin schedule exactly — any
+// scheduling or partition leak shows up here as a byte diff.
+func TestShardWorkerMatrixIdentical(t *testing.T) {
+	names := gen.DatasetNames()
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, ds := range names {
+		t.Run(ds, func(t *testing.T) {
+			p, err := gen.Dataset(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckt, err := gen.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := core.Route(ckt, core.Config{UseConstraints: true, Workers: 1, Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fingerprint(t, seq)
+			for _, s := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("shards=%d", s), func(t *testing.T) {
+					for _, w := range []int{1, 2, 8} {
+						t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+							res, err := core.Route(ckt, core.Config{UseConstraints: true, Workers: w, Shards: s})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got := fingerprint(t, res); !bytes.Equal(got, want) {
+								t.Fatalf("shards=%d workers=%d routed differently from the sequential route (%d vs %d bytes)",
+									s, w, len(got), len(want))
+							}
+						})
+					}
+				})
+			}
+		})
 	}
 }
 
